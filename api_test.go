@@ -1,0 +1,137 @@
+package hnow
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAPIWrappers exercises the remaining public facade functions so the
+// API surface stays wired to the right internals.
+func TestAPIWrappers(t *testing.T) {
+	set, err := Generate(GenConfig{N: 12, K: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual construction via NewSchedule.
+	manual := NewSchedule(set)
+	prev := NodeID(0)
+	for v := 1; v < len(set.Nodes); v++ {
+		if err := manual.AddChild(prev, NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if DeliveryCompletionTime(manual) <= 0 {
+		t.Error("DeliveryCompletionTime not positive for a chain")
+	}
+
+	// Scheduler constructors.
+	for _, s := range []Scheduler{
+		OptimalScheduler(),
+		SlowestFirstScheduler(),
+		LocalSearchScheduler(3),
+		AnnealingScheduler(5, 100),
+		PostalScheduler(),
+	} {
+		sch, err := s.Schedule(set)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+
+	// Node-model facade.
+	inst := NodeModelFrom(set)
+	if inst.N() != set.N() {
+		t.Error("NodeModelFrom lost destinations")
+	}
+	nmSch, err := NodeModelSchedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nmSch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Straggler perturbation through the facade.
+	g, err := GreedyWithReversal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulatePerturbed(g, Slowdown(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Times.RT <= CompletionTime(g) {
+		t.Error("slowing the source did not delay completion")
+	}
+
+	// Default network and renderers.
+	if err := DefaultNetwork().Validate(); err != nil {
+		t.Errorf("DefaultNetwork invalid: %v", err)
+	}
+	if !strings.Contains(Gantt(g, 40), "RT=") {
+		t.Error("Gantt output malformed")
+	}
+	if !strings.Contains(DOT(g), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if TreeString(g) == "" {
+		t.Error("TreeString empty")
+	}
+
+	// Ratio stats re-export.
+	var rs RatioStats = set.Ratios()
+	if rs.AlphaMax < rs.AlphaMin {
+		t.Error("ratio stats inverted")
+	}
+}
+
+func TestSplitSegmentsFacade(t *testing.T) {
+	set, err := Generate(GenConfig{N: 8, K: 2, MaxSend: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SplitSegments(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sp.Nodes {
+		if sp.Nodes[i].Send > set.Nodes[i].Send {
+			t.Fatal("split increased an overhead")
+		}
+	}
+	if _, err := SplitSegments(set, 0); err == nil {
+		t.Error("SplitSegments accepted 0 segments")
+	}
+}
+
+func TestBruteForceFacadeLimit(t *testing.T) {
+	set, err := Generate(GenConfig{N: 30, K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BruteForceRT(set); err == nil {
+		t.Error("brute force accepted 30 destinations")
+	}
+}
+
+func TestOptimalityGapFacade(t *testing.T) {
+	set, err := Generate(GenConfig{N: 100, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := GreedyWithReversal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := OptimalityGap(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 1 || gap > 4 {
+		t.Errorf("gap = %f, implausible for greedy", gap)
+	}
+}

@@ -1,0 +1,55 @@
+// Command hnowbench regenerates the paper's evaluation artifacts: the
+// Figure 1 reproduction and the empirical validation of every lemma and
+// theorem (experiments E1-E10 in DESIGN.md).
+//
+// Usage:
+//
+//	hnowbench                  # run everything
+//	hnowbench -experiment E4   # one experiment
+//	hnowbench -trials 200      # widen the sampled experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run: E1..E15 or 'all'")
+	trials := flag.Int("trials", 0, "trial count for sampled experiments (0 = default)")
+	flag.Parse()
+
+	runners := map[string]func() string{
+		"E1":  experiments.E1Figure1,
+		"E2":  experiments.E2GreedyScaling,
+		"E3":  func() string { return experiments.E3LayeredOptimality(*trials) },
+		"E4":  func() string { return experiments.E4ApproxRatio(*trials) },
+		"E4L": experiments.E4LargeN,
+		"E5":  experiments.E5DPScaling,
+		"E6":  func() string { return experiments.E6LeafReversal(*trials) },
+		"E7":  func() string { return experiments.E7Baselines(*trials) },
+		"E8":  func() string { return experiments.E8Simulator(*trials) },
+		"E9":  experiments.E9Table,
+		"E10": func() string { return experiments.E10Sensitivity(*trials) },
+		"E11": func() string { return experiments.E11Heuristics(*trials) },
+		"E12": func() string { return experiments.E12NodeModel(*trials) },
+		"E13": experiments.E13Pipelining,
+		"E14": func() string { return experiments.E14Postal(*trials) },
+		"E15": func() string { return experiments.E15WAN(*trials) },
+	}
+	key := strings.ToUpper(*experiment)
+	if key == "ALL" {
+		fmt.Println(experiments.All())
+		return
+	}
+	f, ok := runners[key]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hnowbench: unknown experiment %q (want E1..E15 or all)\n", *experiment)
+		os.Exit(2)
+	}
+	fmt.Println(f())
+}

@@ -1,0 +1,54 @@
+// Command hnowgen generates random HNOW multicast instances as JSON for
+// the other tools.
+//
+// Usage:
+//
+//	hnowgen -n 64 -k 3 -seed 7 > cluster.json
+//	hnowgen -n 100 -k 2 -ratio-min 1.4 -ratio-max 1.85 -latency 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 32, "number of destinations")
+	k := flag.Int("k", 3, "number of distinct workstation types")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	ratioMin := flag.Float64("ratio-min", 1.05, "minimum receive-send ratio")
+	ratioMax := flag.Float64("ratio-max", 1.85, "maximum receive-send ratio")
+	maxSend := flag.Int64("max-send", 64, "maximum sending overhead")
+	latency := flag.Int64("latency", 10, "network latency L")
+	srcType := flag.Int("source-type", -1, "source type index (-1 = random)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	set, err := cluster.Generate(cluster.GenConfig{
+		N: *n, K: *k, Seed: *seed,
+		RatioMin: *ratioMin, RatioMax: *ratioMax,
+		MaxSend: *maxSend, Latency: *latency, SourceType: *srcType,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hnowgen: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := trace.MarshalSetJSON(set)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hnowgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hnowgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+// Command hnowsched computes a multicast schedule for an HNOW instance.
+//
+// Usage:
+//
+//	hnowgen -n 32 | hnowsched -algo greedy+leafrev -format gantt
+//	hnowsched -set cluster.json -algo optimal -format dot > tree.dot
+//	hnowsched -set cluster.json -algo all          # comparison table
+//
+// Algorithms: greedy, greedy+leafrev, optimal, star, chain, binomial,
+// fnf-nodemodel, random, postal, slowest-first, local-search, annealing,
+// beam-search, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/heur"
+	"repro/internal/model"
+	"repro/internal/postal"
+	"repro/internal/trace"
+)
+
+func main() {
+	setPath := flag.String("set", "-", "instance JSON file ('-' = stdin)")
+	algo := flag.String("algo", "greedy+leafrev", "scheduling algorithm or 'all'")
+	format := flag.String("format", "tree", "output: tree, gantt, svg, dot, json, rt")
+	seed := flag.Int64("seed", 1, "seed for the random baseline")
+	width := flag.Int("width", 100, "gantt width in columns")
+	flag.Parse()
+
+	data, err := readInput(*setPath)
+	if err != nil {
+		fail(err)
+	}
+	set, err := trace.UnmarshalSetJSON(data)
+	if err != nil {
+		fail(err)
+	}
+
+	if *algo == "all" {
+		results := map[string]int64{}
+		for _, s := range schedulers(*seed) {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hnowsched: %s: %v\n", s.Name(), err)
+				continue
+			}
+			results[s.Name()] = model.RT(sch)
+		}
+		if opt, err := exact.OptimalRT(set); err == nil {
+			results["dp-optimal"] = opt
+		}
+		p := bounds.ParamsOf(set)
+		fmt.Print(trace.CompareTable(results))
+		fmt.Printf("\nTheorem 1 parameters: amin=%.3f amax=%.3f beta=%d C=%.3f\n", p.AlphaMin, p.AlphaMax, p.Beta, p.C)
+		return
+	}
+
+	s, err := lookup(*algo, *seed)
+	if err != nil {
+		fail(err)
+	}
+	sch, err := s.Schedule(set)
+	if err != nil {
+		fail(err)
+	}
+	switch *format {
+	case "tree":
+		fmt.Print(trace.Tree(sch))
+		fmt.Printf("RT=%d DT=%d layered=%v\n", model.RT(sch), model.DT(sch), model.IsLayered(sch))
+	case "gantt":
+		fmt.Print(trace.Gantt(sch, *width))
+	case "svg":
+		fmt.Print(trace.SVG(sch))
+	case "dot":
+		fmt.Print(trace.DOT(sch))
+	case "json":
+		out, err := trace.MarshalJSON(sch)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case "rt":
+		fmt.Println(model.RT(sch))
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func schedulers(seed int64) []model.Scheduler {
+	out := append([]model.Scheduler{core.Greedy{}, core.Greedy{Reversal: true}}, baselines.All(seed)...)
+	return append(out,
+		postal.Scheduler{},
+		heur.SlowestFirst{},
+		heur.LocalSearch{},
+		heur.Annealing{Seed: seed},
+		heur.BeamSearch{},
+	)
+}
+
+func lookup(name string, seed int64) (model.Scheduler, error) {
+	if name == "optimal" || name == "dp-optimal" {
+		return exact.Solver{}, nil
+	}
+	for _, s := range schedulers(seed) {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hnowsched: %v\n", err)
+	os.Exit(1)
+}

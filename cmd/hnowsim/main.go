@@ -1,0 +1,86 @@
+// Command hnowsim executes a multicast schedule on the discrete-event
+// simulator (optionally with jitter or a straggler) or on the live
+// goroutine-per-node executor.
+//
+// Usage:
+//
+//	hnowsched -set c.json -format json | hnowsim
+//	hnowsim -schedule sched.json -jitter 0.2 -seed 3
+//	hnowsim -schedule sched.json -straggler 4 -factor 3
+//	hnowsim -schedule sched.json -live -unit 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	schedPath := flag.String("schedule", "-", "schedule JSON ('-' = stdin)")
+	jitter := flag.Float64("jitter", 0, "uniform jitter amplitude in [0,1)")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	straggler := flag.Int("straggler", -1, "node to slow down (-1 = none)")
+	factor := flag.Float64("factor", 2, "straggler slowdown factor")
+	liveRun := flag.Bool("live", false, "execute on the goroutine-per-node live executor")
+	unit := flag.Duration("unit", time.Millisecond, "live executor: wall-clock duration of one time unit")
+	flag.Parse()
+
+	data, err := readInput(*schedPath)
+	if err != nil {
+		fail(err)
+	}
+	sch, err := trace.UnmarshalJSON(data)
+	if err != nil {
+		fail(err)
+	}
+	analytic := model.ComputeTimes(sch)
+	fmt.Printf("analytic: RT=%d DT=%d\n", analytic.RT, analytic.DT)
+
+	if *liveRun {
+		res, err := live.Run(sch, live.Config{Unit: *unit})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("live:     RT=%.2f units (wall %v, unit %v)\n", res.RT, res.Wall.Round(time.Millisecond), *unit)
+		fmt.Printf("skew:     %.2f%%\n", 100*(res.RT/float64(analytic.RT)-1))
+		return
+	}
+
+	var p sim.Perturb
+	switch {
+	case *straggler >= 0:
+		p = sim.Slowdown(model.NodeID(*straggler), *factor)
+		fmt.Printf("straggler: node %d slowed %gx\n", *straggler, *factor)
+	case *jitter > 0:
+		p = sim.UniformJitter(*seed, *jitter)
+		fmt.Printf("jitter:   +/-%.0f%% (seed %d)\n", *jitter*100, *seed)
+	}
+	res, err := sim.RunPerturbed(sch, p)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated: RT=%d DT=%d (%d events)\n", res.Times.RT, res.Times.DT, res.Events)
+	if p == nil && res.Times.RT != analytic.RT {
+		fail(fmt.Errorf("DES disagrees with analytic times -- model bug"))
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hnowsim: %v\n", err)
+	os.Exit(1)
+}

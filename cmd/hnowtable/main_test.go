@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseQuery(t *testing.T) {
+	src, counts, err := parseQuery("1:3,4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 1 || counts[0] != 3 || counts[1] != 4 {
+		t.Errorf("parsed %d %v", src, counts)
+	}
+	src, counts, err = parseQuery(" 0 : 1 , 2 , 3 ", 3)
+	if err != nil {
+		t.Fatalf("whitespace variant rejected: %v", err)
+	}
+	if src != 0 || len(counts) != 3 || counts[2] != 3 {
+		t.Errorf("parsed %d %v", src, counts)
+	}
+	bad := []struct {
+		q string
+		k int
+	}{
+		{"", 2},
+		{"1", 2},
+		{"x:1,2", 2},
+		{"1:1", 2},
+		{"1:a,b", 2},
+		{"1:1,2,3", 2},
+	}
+	for _, c := range bad {
+		if _, _, err := parseQuery(c.q, c.k); err == nil {
+			t.Errorf("parseQuery(%q, %d) accepted", c.q, c.k)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package hnow_test
+
+import (
+	"fmt"
+
+	hnow "repro"
+)
+
+// The package examples all use the paper's Figure 1 instance: a slow
+// source (send 2, recv 3), three fast destinations (1, 1) and one slow
+// destination (2, 3), network latency 1.
+
+func figure1() *hnow.MulticastSet {
+	fast := hnow.Node{Send: 1, Recv: 1, Name: "fast"}
+	slow := hnow.Node{Send: 2, Recv: 3, Name: "slow"}
+	set, err := hnow.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+func ExampleGreedy() {
+	sch, err := hnow.Greedy(figure1())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hnow.CompletionTime(sch), hnow.IsLayered(sch))
+	// Output: 10 true
+}
+
+func ExampleGreedyWithReversal() {
+	sch, err := hnow.GreedyWithReversal(figure1())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hnow.CompletionTime(sch))
+	// Output: 8
+}
+
+func ExampleOptimalRT() {
+	opt, err := hnow.OptimalRT(figure1())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(opt)
+	// Output: 8
+}
+
+func ExampleTheoremBound() {
+	set := figure1()
+	p := hnow.TheoremBound(set)
+	fmt.Printf("amin=%.1f amax=%.1f beta=%d C=%.0f bound(8)=%.0f\n",
+		p.AlphaMin, p.AlphaMax, p.Beta, p.C, p.Bound(8))
+	// Output: amin=1.0 amax=1.5 beta=2 C=4 bound(8)=34
+}
+
+func ExampleSimulate() {
+	sch, err := hnow.GreedyWithReversal(figure1())
+	if err != nil {
+		panic(err)
+	}
+	res, err := hnow.Simulate(sch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Times.RT == hnow.CompletionTime(sch))
+	// Output: true
+}
+
+func ExampleBuildOptimalTable() {
+	table, err := hnow.BuildOptimalTable(figure1())
+	if err != nil {
+		panic(err)
+	}
+	// Optimal completion for a multicast from a slow source (type 1) to
+	// two fast destinations.
+	rt, err := table.Lookup(1, []int{2, 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rt)
+	// Output: 6
+}
+
+func ExampleLowerBound() {
+	set := figure1()
+	lb := hnow.LowerBound(set)
+	opt, _ := hnow.OptimalRT(set)
+	fmt.Println(lb <= opt, lb >= 6)
+	// Output: true true
+}
+
+func ExamplePipelineRT() {
+	sch, err := hnow.GreedyWithReversal(figure1())
+	if err != nil {
+		panic(err)
+	}
+	one, err := hnow.PipelineRT(sch, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(one == hnow.CompletionTime(sch))
+	// Output: true
+}
+
+func ExampleReduceRT() {
+	sch, err := hnow.GreedyWithReversal(figure1())
+	if err != nil {
+		panic(err)
+	}
+	rt, err := hnow.ReduceRT(sch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rt > 0)
+	// Output: true
+}

@@ -1,0 +1,81 @@
+// collectives: plan a full collective-communication suite for an
+// iterative parallel application on a heterogeneous cluster.
+//
+// The application alternates (1) a broadcast of model parameters, (2) a
+// computation phase, (3) a reduction of partial results, and (4) a
+// barrier -- the Section 5 future-work operations built on the paper's
+// multicast trees. The example compares tree choices for the combined
+// iteration cost and shows how pipelining the broadcast of a large
+// parameter block shifts the best tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hnow "repro"
+)
+
+func main() {
+	set, err := hnow.Generate(hnow.GenConfig{
+		N: 32, K: 3, RatioMin: 1.05, RatioMax: 1.85,
+		MaxSend: 24, Latency: 6, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-iteration collective costs by tree (abstract time units)")
+	fmt.Printf("%-16s %10s %10s %10s %12s\n", "tree", "broadcast", "reduce", "barrier", "iteration")
+	var bestName string
+	var bestCost int64
+	for _, s := range hnow.AllSchedulers(1) {
+		plan, err := hnow.PlanCollectives(s, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iter := plan.Broadcast + plan.Reduce + plan.Barrier
+		fmt.Printf("%-16s %10d %10d %10d %12d\n", s.Name(), plan.Broadcast, plan.Reduce, plan.Barrier, iter)
+		if bestName == "" || iter < bestCost {
+			bestName, bestCost = s.Name(), iter
+		}
+	}
+	fmt.Printf("\nbest tree for the full iteration: %s (%d units)\n\n", bestName, bestCost)
+
+	// Large parameter block: stream it in segments down the same greedy
+	// tree and find the sweet spot.
+	sch, err := hnow.GreedyWithReversal(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("broadcasting a large block: segment-count sweep on the greedy tree")
+	fmt.Printf("%10s %14s\n", "segments", "broadcast RT")
+	bestM, bestRT := 1, int64(0)
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		// Per-segment overheads: the block divides across segments.
+		segSet, err := hnow.SplitSegments(set, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segSch, err := hnow.GreedyWithReversal(segSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := hnow.PipelineRT(segSch, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %14d\n", m, rt)
+		if m == 1 || rt < bestRT {
+			bestM, bestRT = m, rt
+		}
+	}
+	fmt.Printf("\nsweet spot: %d segments (RT %d)\n", bestM, bestRT)
+
+	// Straggler impact on the reduce phase.
+	gather, err := hnow.ReduceRT(sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreduce on the greedy tree completes at %d units\n", gather)
+}

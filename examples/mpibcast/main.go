@@ -1,0 +1,69 @@
+// mpibcast: an MPI-style broadcast study on a two-class cluster.
+//
+// A parallel application broadcasts its input data from one (slow, shared)
+// head node to a mixed pool of fast and slow workers. The example sweeps
+// the message size and compares the heterogeneity-aware greedy schedule
+// against the classic binomial tree an MPI implementation would use on a
+// homogeneous machine, plus the best sequential star.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hnow "repro"
+)
+
+func main() {
+	// Two workstation classes measured with fixed + per-KB components,
+	// plus the cluster's latency model (also per-KB).
+	net := hnow.Network{
+		LatencyFixed: 12, LatencyPerKB: 6,
+		Profiles: []hnow.Profile{
+			{Name: "worker-fast", SendFixed: 14, SendPerKB: 9, RecvFixed: 18, RecvPerKB: 11},
+			{Name: "worker-slow", SendFixed: 45, SendPerKB: 30, RecvFixed: 70, RecvPerKB: 48},
+		},
+	}
+	// Head node is slow; 20 fast + 12 slow workers.
+	spec := hnow.ClusterSpec{Network: net, SourceProfile: 1, Counts: []int{20, 12}}
+
+	fmt.Println("MPI-style broadcast: greedy vs binomial vs star (times in abstract units)")
+	fmt.Printf("%10s %10s %10s %10s %12s %12s\n", "message", "greedy", "binomial", "star", "binom/greedy", "star/greedy")
+	for _, bytes := range []int64{1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20} {
+		set, err := spec.Instance(bytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rts := map[string]int64{}
+		for _, s := range hnow.AllSchedulers(1) {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rts[s.Name()] = hnow.CompletionTime(sch)
+		}
+		g := rts["greedy+leafrev"]
+		fmt.Printf("%9dK %10d %10d %10d %11.2fx %11.2fx\n",
+			bytes>>10, g, rts["binomial"], rts["star"],
+			float64(rts["binomial"])/float64(g), float64(rts["star"])/float64(g))
+	}
+
+	// For a 64KB broadcast, also verify the greedy schedule against the
+	// exact optimum (feasible: only k=2 types) and show the Theorem 1
+	// bound in action.
+	set, err := spec.Instance(64 << 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := hnow.OptimalRT(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := hnow.GreedyWithReversal(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := hnow.TheoremBound(set)
+	fmt.Printf("\n64KB broadcast: optimal %d, greedy+leafrev %d (%.3fx), Theorem 1 cap %.0f\n",
+		opt, hnow.CompletionTime(sch), float64(hnow.CompletionTime(sch))/float64(opt), p.Bound(opt))
+}

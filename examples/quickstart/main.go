@@ -1,0 +1,50 @@
+// Quickstart: build the paper's Figure 1 instance, schedule it with every
+// algorithm in the library, and print the resulting trees and times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hnow "repro"
+)
+
+func main() {
+	// Figure 1 of the paper: a slow source (send 2, recv 3), three fast
+	// destinations (1, 1) and one slow destination (2, 3); latency 1.
+	fast := hnow.Node{Send: 1, Recv: 1, Name: "fast"}
+	slow := hnow.Node{Send: 2, Recv: 3, Name: "slow"}
+	set, err := hnow.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's greedy algorithm (O(n log n)).
+	greedy, err := hnow.Greedy(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy schedule (RT=%d):\n%s\n", hnow.CompletionTime(greedy), hnow.TreeString(greedy))
+
+	// With the recommended leaf-reversal post-pass.
+	rev, err := hnow.GreedyWithReversal(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy + leaf reversal (RT=%d):\n%s\n", hnow.CompletionTime(rev), hnow.TreeString(rev))
+
+	// The exact optimum via the limited-heterogeneity DP (k=2 types here).
+	opt, err := hnow.OptimalRT(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal RT (Lemma 4 DP): %d\n", opt)
+
+	// The Theorem 1 guarantee for greedy.
+	p := hnow.TheoremBound(set)
+	fmt.Printf("Theorem 1: greedy RT %d < %.1f (= %.2f x OPT + %d)\n",
+		hnow.CompletionTime(greedy), p.Bound(opt), p.C, p.Beta)
+
+	// Gantt view of the best schedule.
+	fmt.Printf("\n%s", hnow.Gantt(rev, 80))
+}

@@ -1,0 +1,93 @@
+// rollout: datacenter software-rollout planning with the precomputed
+// optimal-schedule table (Theorem 2's closing remark).
+//
+// A fleet has three machine generations. Rollouts multicast an update
+// bundle from one machine to an arbitrary subset of the fleet, so the
+// operator precomputes the DP table once and then answers "how long will
+// this rollout take, and what tree should it use?" in constant time per
+// query -- including the marginal cost of adding one more machine of a
+// given generation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hnow "repro"
+)
+
+func main() {
+	net := hnow.Network{
+		LatencyFixed: 8, LatencyPerKB: 4,
+		Profiles: []hnow.Profile{
+			{Name: "gen3", SendFixed: 10, SendPerKB: 7, RecvFixed: 12, RecvPerKB: 9},
+			{Name: "gen2", SendFixed: 22, SendPerKB: 13, RecvFixed: 30, RecvPerKB: 19},
+			{Name: "gen1", SendFixed: 55, SendPerKB: 32, RecvFixed: 85, RecvPerKB: 50},
+		},
+	}
+	// The whole fleet: 18 gen3 + 10 gen2 + 6 gen1, source is a gen2
+	// build machine; bundles are 256KB.
+	spec := hnow.ClusterSpec{Network: net, SourceProfile: 1, Counts: []int{18, 10, 6}}
+	set, err := spec.Instance(256 << 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table, err := hnow.BuildOptimalTable(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precomputed %d optimal states for the fleet (k=%d generations)\n\n", table.States(), table.K())
+
+	// Constant-time rollout queries. Source type 1 = gen2 (types are
+	// sorted fastest first, matching the profile order here).
+	queries := []struct {
+		desc   string
+		counts []int
+	}{
+		{"canary: 2 gen3", []int{2, 0, 0}},
+		{"fast ring: all gen3", []int{18, 0, 0}},
+		{"broad ring: gen3+gen2", []int{18, 10, 0}},
+		{"full fleet", []int{18, 10, 6}},
+		{"legacy only", []int{0, 0, 6}},
+	}
+	fmt.Printf("%-24s %12s\n", "rollout", "optimal RT")
+	for _, q := range queries {
+		rt, err := table.Lookup(1, q.counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %12d\n", q.desc, rt)
+	}
+
+	// Marginal cost of each additional legacy machine in the full fleet.
+	fmt.Printf("\nmarginal cost of legacy (gen1) machines on the full rollout:\n")
+	prev := int64(0)
+	for g1 := 0; g1 <= 6; g1++ {
+		rt, err := table.Lookup(1, []int{18, 10, g1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		marginal := ""
+		if g1 > 0 {
+			marginal = fmt.Sprintf("  (+%d)", rt-prev)
+		}
+		fmt.Printf("  gen1=%d: RT=%d%s\n", g1, rt, marginal)
+		prev = rt
+	}
+
+	// Materialize the optimal tree for the full fleet and compare with
+	// greedy.
+	optSched, err := hnow.Optimal(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := hnow.GreedyWithReversal(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull fleet: optimal %d vs greedy+leafrev %d (%.3fx)\n",
+		hnow.CompletionTime(optSched), hnow.CompletionTime(greedy),
+		float64(hnow.CompletionTime(greedy))/float64(hnow.CompletionTime(optSched)))
+	fmt.Printf("\noptimal rollout tree:\n%s", hnow.TreeString(optSched))
+}

@@ -1,0 +1,116 @@
+package hnow
+
+import (
+	"testing"
+)
+
+// FuzzGreedyInvariants drives the full invariant chain from raw fuzzed
+// node parameters: any instance the validator accepts must yield a valid,
+// layered greedy schedule whose discrete-event execution matches the
+// analytic times, whose leaf-reversed variant is no worse, and whose
+// completion respects the provable lower bounds.
+func FuzzGreedyInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint8(2), uint8(1), uint8(2), uint8(3))
+	f.Add(int64(2), uint8(9), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(2), uint8(8), uint8(12), uint8(2), uint8(3), uint8(60))
+	f.Add(int64(15), uint8(11), uint8(15), uint8(15), uint8(1), uint8(1), uint8(170))
+	f.Fuzz(func(t *testing.T, latency int64, n uint8, s1, r1, s2, r2, mix uint8) {
+		// Build a two-type instance from the fuzzed bytes.
+		count := int(n%12) + 1
+		typeA := Node{Send: int64(s1%16) + 1, Recv: int64(r1%16) + 1}
+		typeB := Node{Send: int64(s2%16) + 1, Recv: int64(r2%16) + 1}
+		L := latency % 16
+		if L <= 0 {
+			L = 1
+		}
+		nodes := make([]Node, 0, count)
+		for i := 0; i < count; i++ {
+			if (int(mix)>>(i%8))&1 == 1 {
+				nodes = append(nodes, typeB)
+			} else {
+				nodes = append(nodes, typeA)
+			}
+		}
+		set, err := NewMulticastSet(L, typeA, nodes...)
+		if err != nil {
+			return // invalid parameter combination; nothing to check
+		}
+		g, err := Greedy(set)
+		if err != nil {
+			t.Fatalf("greedy failed on a valid set: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("greedy schedule invalid: %v", err)
+		}
+		if !IsLayered(g) {
+			t.Fatal("greedy schedule not layered")
+		}
+		res, err := Simulate(g)
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if res.Times.RT != CompletionTime(g) {
+			t.Fatalf("DES RT %d != analytic %d", res.Times.RT, CompletionTime(g))
+		}
+		before := CompletionTime(g)
+		rev, err := ReverseLeaves(g)
+		if err != nil {
+			t.Fatalf("ReverseLeaves: %v", err)
+		}
+		after := CompletionTime(rev)
+		if after > before {
+			t.Fatalf("leaf reversal increased RT %d -> %d", before, after)
+		}
+		if lb := LowerBound(set); after < lb {
+			t.Fatalf("completion %d below lower bound %d", after, lb)
+		}
+		// Small instances: greedy must respect Theorem 1 against the
+		// exact optimum.
+		if set.N() <= 6 {
+			opt, err := OptimalRT(set)
+			if err != nil {
+				t.Fatalf("OptimalRT: %v", err)
+			}
+			if after < opt {
+				t.Fatalf("greedy+rev RT %d below optimal %d", after, opt)
+			}
+			p := TheoremBound(set)
+			if float64(before) >= p.Bound(opt) {
+				t.Fatalf("Theorem 1 violated: %d >= %f", before, p.Bound(opt))
+			}
+		}
+	})
+}
+
+// FuzzPipelineConsistency checks the multi-segment evaluator: M=1 equals
+// the single-shot model and completion is monotone in same-size segment
+// count.
+func FuzzPipelineConsistency(f *testing.F) {
+	f.Add(int64(3), uint8(6), uint8(4))
+	f.Add(int64(9), uint8(2), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, m uint8) {
+		set, err := Generate(GenConfig{N: int(n%24) + 1, K: 3, Seed: seed})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		sch, err := GreedyWithReversal(set)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		one, err := PipelineRT(sch, 1)
+		if err != nil {
+			t.Fatalf("pipeline M=1: %v", err)
+		}
+		if one != CompletionTime(sch) {
+			t.Fatalf("pipeline M=1 RT %d != model %d", one, CompletionTime(sch))
+		}
+		segs := int(m%16) + 2
+		multi, err := PipelineRT(sch, segs)
+		if err != nil {
+			t.Fatalf("pipeline M=%d: %v", segs, err)
+		}
+		if multi < one {
+			t.Fatalf("more same-size segments decreased RT: %d < %d", multi, one)
+		}
+	})
+}

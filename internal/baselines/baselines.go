@@ -1,0 +1,172 @@
+// Package baselines provides the comparison schedulers the benchmark
+// harness pits against the paper's greedy algorithm: the prior-art
+// fastest-node-first heuristic for the heterogeneous *node* model
+// (Banikazemi et al. 1998), the classic homogeneous binomial tree, a
+// sequential star, a linear chain, and a seeded random tree. All of them
+// build valid schedules for the receive-send model; they differ in how
+// much heterogeneity information they exploit.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+// Star is the sequential baseline: the source transmits to every
+// destination directly. Children are ordered by decreasing receiving
+// overhead (slow receivers take earlier slots), which is the best possible
+// star for the model.
+type Star struct{}
+
+// Name implements model.Scheduler.
+func (Star) Name() string { return "star" }
+
+// Schedule implements model.Scheduler.
+func (Star) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	sch := model.NewSchedule(set)
+	order := set.SortedDestinations()
+	// Reverse: slowest (largest receiving overhead) first.
+	for i := len(order) - 1; i >= 0; i-- {
+		if err := sch.AddChild(0, order[i]); err != nil {
+			return nil, err
+		}
+	}
+	return sch, nil
+}
+
+// Chain is the linear pipeline baseline: the source sends to the fastest
+// destination, which forwards to the next fastest, and so on. Each node
+// makes exactly one transmission.
+type Chain struct{}
+
+// Name implements model.Scheduler.
+func (Chain) Name() string { return "chain" }
+
+// Schedule implements model.Scheduler.
+func (Chain) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	sch := model.NewSchedule(set)
+	prev := model.NodeID(0)
+	for _, v := range set.SortedDestinations() {
+		if err := sch.AddChild(prev, v); err != nil {
+			return nil, err
+		}
+		prev = v
+	}
+	return sch, nil
+}
+
+// Binomial is the classic heterogeneity-oblivious binomial broadcast tree
+// (recursive halving over the destinations in ID order), the standard
+// MPI-style broadcast for homogeneous one-port systems. It ignores all
+// overhead information.
+type Binomial struct{}
+
+// Name implements model.Scheduler.
+func (Binomial) Name() string { return "binomial" }
+
+// Schedule implements model.Scheduler.
+func (Binomial) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	sch := model.NewSchedule(set)
+	// ids[0] is the source; the rest are destinations in ID order.
+	ids := make([]model.NodeID, len(set.Nodes))
+	for i := range ids {
+		ids[i] = model.NodeID(i)
+	}
+	var rec func(lo, hi int) error // ids[lo] is informed; cover (lo, hi]
+	rec = func(lo, hi int) error {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi + 1) / 2
+		if err := sch.AddChild(ids[lo], ids[mid]); err != nil {
+			return err
+		}
+		// The far half proceeds in parallel with the near half.
+		if err := rec(mid, hi); err != nil {
+			return err
+		}
+		return rec(lo, mid-1)
+	}
+	if err := rec(0, len(ids)-1); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+// FNF is the fastest-node-first greedy for the heterogeneous *node* model
+// of Banikazemi et al. (1998) and Hall et al. (1998), transplanted to the
+// receive-send model as prior art: each node has a single message
+// initiation cost c(x) = osend(x); receiving costs are invisible to the
+// heuristic. The tree it builds is then evaluated under the full
+// receive-send model, so FNF pays for the receive overheads it ignored.
+type FNF struct{}
+
+// Name implements model.Scheduler.
+func (FNF) Name() string { return "fnf-nodemodel" }
+
+// Schedule implements model.Scheduler.
+func (FNF) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	sch := model.NewSchedule(set)
+	L := set.Latency
+	// In the node model, after a send completing at time t the receiver is
+	// immediately available; availability of the sender advances by c(x).
+	pq := pqueue.New(set.N() + 1)
+	pq.Push(0, set.Nodes[0].Send+L)
+	for _, pi := range set.SortedDestinations() {
+		it, ok := pq.Pop()
+		if !ok {
+			return nil, fmt.Errorf("baselines: FNF internal error: empty queue")
+		}
+		if err := sch.AddChild(it.Value, pi); err != nil {
+			return nil, err
+		}
+		// Node-model availability: no receiving overhead.
+		pq.Push(pi, it.Key+set.Nodes[pi].Send+L)
+		pq.Push(it.Value, it.Key+set.Nodes[it.Value].Send)
+	}
+	return sch, nil
+}
+
+// Random builds a uniformly random multicast tree: destinations are
+// shuffled and each attaches to a uniformly random already-attached node.
+// Deterministic for a fixed Seed.
+type Random struct {
+	Seed int64
+}
+
+// Name implements model.Scheduler.
+func (Random) Name() string { return "random" }
+
+// Schedule implements model.Scheduler.
+func (r Random) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	sch := model.NewSchedule(set)
+	order := set.SortedDestinations()
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	attached := []model.NodeID{0}
+	for _, v := range order {
+		p := attached[rng.Intn(len(attached))]
+		if err := sch.AddChild(p, v); err != nil {
+			return nil, err
+		}
+		attached = append(attached, v)
+	}
+	return sch, nil
+}
+
+// All returns one instance of every baseline scheduler. The random
+// scheduler uses the given seed.
+func All(randomSeed int64) []model.Scheduler {
+	return []model.Scheduler{Star{}, Chain{}, Binomial{}, FNF{}, Random{Seed: randomSeed}}
+}
+
+var (
+	_ model.Scheduler = Star{}
+	_ model.Scheduler = Chain{}
+	_ model.Scheduler = Binomial{}
+	_ model.Scheduler = FNF{}
+	_ model.Scheduler = Random{}
+)

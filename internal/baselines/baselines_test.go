@@ -1,0 +1,193 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func randSet(rng *rand.Rand, n int) *model.MulticastSet {
+	palette := []model.Node{{Send: 1, Recv: 1}, {Send: 2, Recv: 3}, {Send: 4, Recv: 7}}
+	nodes := make([]model.Node, n+1)
+	for i := range nodes {
+		nodes[i] = palette[rng.Intn(len(palette))]
+	}
+	set := &model.MulticastSet{Latency: int64(1 + rng.Intn(3)), Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	return set
+}
+
+func TestAllProduceValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		set := randSet(rng, 1+rng.Intn(30))
+		for _, s := range All(7) {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if err := sch.Validate(); err != nil {
+				t.Fatalf("%s: invalid schedule: %v", s.Name(), err)
+			}
+			if !sch.Complete() {
+				t.Fatalf("%s: incomplete schedule", s.Name())
+			}
+		}
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All(1) {
+		if seen[s.Name()] {
+			t.Errorf("duplicate scheduler name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestStarStructure(t *testing.T) {
+	set := randSet(rand.New(rand.NewSource(3)), 10)
+	sch, err := Star{}.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Children(0)) != 10 {
+		t.Errorf("star root has %d children, want 10", len(sch.Children(0)))
+	}
+	// Children ordered by non-increasing receiving overhead.
+	kids := sch.Children(0)
+	for i := 1; i < len(kids); i++ {
+		if set.Nodes[kids[i]].Recv > set.Nodes[kids[i-1]].Recv {
+			t.Errorf("star children not in decreasing recv order at %d", i)
+		}
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	set := randSet(rand.New(rand.NewSource(4)), 8)
+	sch, err := Chain{}.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node has at most one child; depth equals n.
+	for v := 0; v < len(set.Nodes); v++ {
+		if len(sch.Children(model.NodeID(v))) > 1 {
+			t.Errorf("chain node %d has %d children", v, len(sch.Children(model.NodeID(v))))
+		}
+	}
+}
+
+func TestBinomialStructure(t *testing.T) {
+	// On a homogeneous instance the binomial tree has the classic shape:
+	// root degree ~log2(n).
+	nodes := make([]model.Node, 16)
+	for i := range nodes {
+		nodes[i] = model.Node{Send: 1, Recv: 1}
+	}
+	set := &model.MulticastSet{Latency: 1, Nodes: nodes}
+	sch, err := Binomial{}.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sch.Children(0)); got != 4 {
+		t.Errorf("binomial root degree = %d, want 4 for 16 nodes", got)
+	}
+	// Completion: recursive halving with S=R=L=1. Every round costs
+	// S+L+R = 3 at the critical path; RT must be far below the
+	// sequential star's.
+	star, err := Star{}.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.RT(sch) >= model.RT(star) {
+		t.Errorf("binomial RT %d not better than star RT %d on homogeneous instance", model.RT(sch), model.RT(star))
+	}
+}
+
+func TestFNFIgnoresReceiveOverheads(t *testing.T) {
+	// Two instances identical except for receiving overheads must give
+	// FNF the same tree (it cannot see recv), while greedy adapts.
+	a := &model.MulticastSet{Latency: 1, Nodes: []model.Node{
+		{Send: 1, Recv: 1}, {Send: 1, Recv: 1}, {Send: 2, Recv: 2}, {Send: 4, Recv: 4}, {Send: 4, Recv: 4},
+	}}
+	b := &model.MulticastSet{Latency: 1, Nodes: []model.Node{
+		{Send: 1, Recv: 2}, {Send: 1, Recv: 2}, {Send: 2, Recv: 5}, {Send: 4, Recv: 20}, {Send: 4, Recv: 20},
+	}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := FNF{}.Schedule(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := FNF{}.Schedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sa.Equal(sb) {
+		t.Errorf("FNF trees differ despite identical send overheads:\n%s\n%s", sa, sb)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	set := randSet(rand.New(rand.NewSource(5)), 12)
+	s1, err := (Random{Seed: 9}).Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := (Random{Seed: 9}).Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Error("same seed produced different trees")
+	}
+	s3, err := (Random{Seed: 10}).Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Equal(s3) {
+		t.Error("different seeds produced identical trees (suspicious)")
+	}
+}
+
+func TestGreedyDominatesBaselinesInAggregate(t *testing.T) {
+	// Greedy is not provably better than every baseline on every
+	// instance, but across many random heterogeneous instances its total
+	// completion time must be no worse than each baseline's.
+	rng := rand.New(rand.NewSource(6))
+	totals := map[string]int64{}
+	var greedyTotal int64
+	const trials = 150
+	for trial := 0; trial < trials; trial++ {
+		set := randSet(rng, 2+rng.Intn(40))
+		g, err := core.ScheduleWithReversal(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyTotal += model.RT(g)
+		for _, s := range All(int64(trial)) {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			totals[s.Name()] += model.RT(sch)
+		}
+	}
+	for name, total := range totals {
+		if greedyTotal > total {
+			t.Errorf("greedy total RT %d worse than %s total %d over %d trials", greedyTotal, name, total, trials)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package batch evaluates many multicast instances across many schedulers
+// in parallel. It is the compute engine for large parameter sweeps: a
+// fixed-size worker pool of goroutines drains an index channel and writes
+// into pre-sized result slots, so output is deterministic regardless of
+// the degree of parallelism.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Result is the evaluation of one instance by every scheduler.
+type Result struct {
+	// Index is the instance's position in the sweep.
+	Index int
+	// RT maps scheduler name to reception completion time.
+	RT map[string]int64
+	// Err records a generation or scheduling failure; other fields are
+	// zero when set.
+	Err error
+}
+
+// Sweep describes a parallel experiment: Trials instances produced by Gen
+// and evaluated by every scheduler.
+type Sweep struct {
+	// Gen builds the i-th instance. It must be safe for concurrent calls
+	// with distinct i (pure functions of i, e.g. seeded generators, are).
+	Gen func(i int) (*model.MulticastSet, error)
+	// Schedulers are applied to every instance. Implementations must be
+	// safe for concurrent use (all schedulers in this repository are:
+	// they keep no mutable state across calls).
+	Schedulers []model.Scheduler
+	// Trials is the number of instances.
+	Trials int
+	// Workers caps the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the sweep and returns one Result per trial, in trial
+// order. Individual failures are reported in Result.Err; Run itself only
+// fails on configuration errors.
+func (s Sweep) Run() ([]Result, error) {
+	if s.Gen == nil {
+		return nil, fmt.Errorf("batch: Gen is nil")
+	}
+	if s.Trials < 0 {
+		return nil, fmt.Errorf("batch: negative trials")
+	}
+	if len(s.Schedulers) == 0 {
+		return nil, fmt.Errorf("batch: no schedulers")
+	}
+	names := map[string]bool{}
+	for _, sc := range s.Schedulers {
+		if names[sc.Name()] {
+			return nil, fmt.Errorf("batch: duplicate scheduler name %q", sc.Name())
+		}
+		names[sc.Name()] = true
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.Trials && s.Trials > 0 {
+		workers = s.Trials
+	}
+	results := make([]Result, s.Trials)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = s.evalOne(i)
+			}
+		}()
+	}
+	for i := 0; i < s.Trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+func (s Sweep) evalOne(i int) Result {
+	set, err := s.Gen(i)
+	if err != nil {
+		return Result{Index: i, Err: fmt.Errorf("batch: gen(%d): %w", i, err)}
+	}
+	rt := make(map[string]int64, len(s.Schedulers))
+	for _, sc := range s.Schedulers {
+		sch, err := sc.Schedule(set)
+		if err != nil {
+			return Result{Index: i, Err: fmt.Errorf("batch: %s on instance %d: %w", sc.Name(), i, err)}
+		}
+		rt[sc.Name()] = model.RT(sch)
+	}
+	return Result{Index: i, RT: rt}
+}
+
+// Aggregate summarizes one scheduler's completion times across the sweep,
+// skipping failed trials.
+func Aggregate(results []Result, scheduler string) stats.Summary {
+	var xs []float64
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if v, ok := r.RT[scheduler]; ok {
+			xs = append(xs, float64(v))
+		}
+	}
+	return stats.Summarize(xs)
+}
+
+// WinCounts returns, per scheduler, how many trials it (weakly) won.
+func WinCounts(results []Result) map[string]int {
+	wins := map[string]int{}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		best := int64(-1)
+		for _, v := range r.RT {
+			if best == -1 || v < best {
+				best = v
+			}
+		}
+		for name, v := range r.RT {
+			if v == best {
+				wins[name]++
+			}
+		}
+	}
+	return wins
+}
+
+// FirstError returns the first trial error, or nil.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

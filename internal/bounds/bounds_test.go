@@ -1,0 +1,445 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/model"
+)
+
+func figure1Set(t *testing.T) *model.MulticastSet {
+	t.Helper()
+	fast := model.Node{Send: 1, Recv: 1, Name: "fast"}
+	slow := model.Node{Send: 2, Recv: 3, Name: "slow"}
+	s, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatalf("figure1Set: %v", err)
+	}
+	return s
+}
+
+// randPow2Set builds a constant-integer-ratio instance with power-of-two
+// sending overheads: the Lemma 3 preconditions.
+func randPow2Set(rng *rand.Rand, n int) *model.MulticastSet {
+	c := int64(1 + rng.Intn(3))
+	nodes := make([]model.Node, n+1)
+	for i := range nodes {
+		s := int64(1) << uint(rng.Intn(4))
+		nodes[i] = model.Node{Send: s, Recv: c * s}
+	}
+	set := &model.MulticastSet{Latency: int64(1 + rng.Intn(3)), Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// randSet builds a general valid instance.
+func randSet(rng *rand.Rand, n int) *model.MulticastSet {
+	nodes := make([]model.Node, n+1)
+	send, recv := int64(0), int64(0)
+	palette := make([]model.Node, 1+rng.Intn(4))
+	for i := range palette {
+		send += int64(1 + rng.Intn(4))
+		r := send + int64(rng.Intn(int(send)))
+		if r <= recv {
+			r = recv + 1
+		}
+		recv = r
+		palette[i] = model.Node{Send: send, Recv: recv}
+	}
+	for i := range nodes {
+		nodes[i] = palette[rng.Intn(len(palette))]
+	}
+	set := &model.MulticastSet{Latency: int64(1 + rng.Intn(3)), Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	return set
+}
+
+func TestParamsFigure1(t *testing.T) {
+	p := ParamsOf(figure1Set(t))
+	if p.AlphaMin != 1 || p.AlphaMax != 1.5 {
+		t.Errorf("alpha = [%v, %v], want [1, 1.5]", p.AlphaMin, p.AlphaMax)
+	}
+	if p.Beta != 2 {
+		t.Errorf("beta = %d, want 2", p.Beta)
+	}
+	// C = 2*ceil(1.5)/1 = 4.
+	if p.C != 4 {
+		t.Errorf("C = %v, want 4", p.C)
+	}
+	if got := p.Bound(8); got != 34 {
+		t.Errorf("Bound(8) = %v, want 34", got)
+	}
+}
+
+func TestRoundUpProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		set := randSet(rng, 1+rng.Intn(20))
+		sp := RoundUp(set)
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("rounded set invalid: %v", err)
+		}
+		// Constant integer ratio.
+		if _, err := ConstantRatio(sp); err != nil {
+			t.Fatalf("rounded set not constant ratio: %v", err)
+		}
+		for i := range set.Nodes {
+			o, r := set.Nodes[i], sp.Nodes[i]
+			// Node-wise domination.
+			if r.Send < o.Send || r.Recv < o.Recv {
+				t.Fatalf("node %d not dominated: %+v -> %+v", i, o, r)
+			}
+			// Send rounded to a power of two below 2x.
+			if r.Send >= 2*o.Send && o.Send > 1 {
+				t.Fatalf("node %d send over-rounded: %d -> %d", i, o.Send, r.Send)
+			}
+			if r.Send&(r.Send-1) != 0 {
+				t.Fatalf("node %d send %d not a power of two", i, r.Send)
+			}
+		}
+	}
+}
+
+func TestConstantRatio(t *testing.T) {
+	set := &model.MulticastSet{Latency: 1, Nodes: []model.Node{{Send: 2, Recv: 6}, {Send: 4, Recv: 12}}}
+	c, err := ConstantRatio(set)
+	if err != nil || c != 3 {
+		t.Errorf("ConstantRatio = %d, %v; want 3", c, err)
+	}
+	bad := &model.MulticastSet{Latency: 1, Nodes: []model.Node{{Send: 2, Recv: 6}, {Send: 4, Recv: 13}}}
+	if _, err := ConstantRatio(bad); err == nil {
+		t.Error("non-constant ratio accepted")
+	}
+	frac := &model.MulticastSet{Latency: 1, Nodes: []model.Node{{Send: 2, Recv: 3}}}
+	if _, err := ConstantRatio(frac); err == nil {
+		t.Error("fractional ratio accepted")
+	}
+}
+
+func TestRankedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		set := randSet(rng, 1+rng.Intn(15))
+		sch, err := core.Schedule(set)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		rk, err := FromSchedule(sch)
+		if err != nil {
+			t.Fatalf("FromSchedule: %v", err)
+		}
+		if err := rk.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		want := model.ComputeTimes(sch)
+		got := rk.Times()
+		for v := range want.Delivery {
+			if want.Delivery[v] != got.Delivery[v] || want.Reception[v] != got.Reception[v] {
+				t.Fatalf("times differ at node %d: %v vs %v", v, want, got)
+			}
+		}
+		back, err := rk.Compact()
+		if err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+		if !back.Equal(sch) {
+			t.Fatalf("round-trip changed the schedule: %s vs %s", back, sch)
+		}
+	}
+}
+
+func TestRankedGapsAndCompact(t *testing.T) {
+	set := figure1Set(t)
+	// Source sends to node 1 at rank 1 and node 2 at rank 3 (idle slot 2).
+	rk := &Ranked{
+		Set:    set,
+		Parent: []model.NodeID{-1, 0, 0, 1, 1},
+		Rank:   []int64{0, 1, 3, 1, 2},
+	}
+	if err := rk.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tm := rk.Times()
+	// d(2) = 0 + 3*2 + 1 = 7 with the gap.
+	if tm.Delivery[2] != 7 {
+		t.Errorf("gapped delivery d(2) = %d, want 7", tm.Delivery[2])
+	}
+	sch, err := rk.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	ct := model.ComputeTimes(sch)
+	// Compaction pulls node 2 to rank 2: d = 5.
+	if ct.Delivery[2] != 5 {
+		t.Errorf("compacted delivery d(2) = %d, want 5", ct.Delivery[2])
+	}
+	for v := range ct.Delivery {
+		if ct.Delivery[v] > tm.Delivery[v] {
+			t.Errorf("compaction increased d(%d): %d -> %d", v, tm.Delivery[v], ct.Delivery[v])
+		}
+	}
+}
+
+func TestRankedValidateErrors(t *testing.T) {
+	set := figure1Set(t)
+	cases := []struct {
+		name string
+		rk   Ranked
+	}{
+		{"duplicate rank", Ranked{Set: set, Parent: []model.NodeID{-1, 0, 0, 1, 1}, Rank: []int64{0, 1, 1, 1, 2}}},
+		{"zero rank", Ranked{Set: set, Parent: []model.NodeID{-1, 0, 0, 1, 1}, Rank: []int64{0, 1, 2, 0, 2}}},
+		{"self parent", Ranked{Set: set, Parent: []model.NodeID{-1, 1, 0, 1, 1}, Rank: []int64{0, 1, 1, 1, 2}}},
+		{"cycle", Ranked{Set: set, Parent: []model.NodeID{-1, 3, 0, 1, 1}, Rank: []int64{0, 1, 1, 1, 2}}},
+		{"root rank", Ranked{Set: set, Parent: []model.NodeID{-1, 0, 0, 1, 1}, Rank: []int64{1, 1, 2, 1, 2}}},
+	}
+	for _, c := range cases {
+		if err := c.rk.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// descendants returns the set of strict descendants of v.
+func descendants(rk *Ranked, v model.NodeID) map[model.NodeID]bool {
+	out := map[model.NodeID]bool{}
+	for w := 1; w < len(rk.Parent); w++ {
+		for a := rk.Parent[w]; a > 0; a = rk.Parent[a] {
+			if a == v {
+				out[model.NodeID(w)] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestExchangeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	applied := 0
+	for trial := 0; trial < 400 && applied < 120; trial++ {
+		set := randPow2Set(rng, 2+rng.Intn(10))
+		// Random valid schedule: greedy with shuffled insertion order.
+		order := set.SortedDestinations()
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sch, err := core.ScheduleOrder(set, order)
+		if err != nil {
+			t.Fatalf("ScheduleOrder: %v", err)
+		}
+		rk, err := FromSchedule(sch)
+		if err != nil {
+			t.Fatalf("FromSchedule: %v", err)
+		}
+		before := rk.Times()
+		// Find a violating pair: d(u) < d(v), osend(u) = e*osend(v), e>=2.
+		var u, v model.NodeID = -1, -1
+		for a := 1; a < len(set.Nodes) && u == -1; a++ {
+			for b := 1; b < len(set.Nodes); b++ {
+				if a == b {
+					continue
+				}
+				sa, sb := set.Nodes[a].Send, set.Nodes[b].Send
+				if sa > sb && sa%sb == 0 && before.Delivery[a] < before.Delivery[b] {
+					u, v = model.NodeID(a), model.NodeID(b)
+					break
+				}
+			}
+		}
+		if u == -1 {
+			continue
+		}
+		applied++
+		descU := descendants(rk, u)
+		descV := descendants(rk, v)
+		pv := rk.Parent[v]
+		if err := Exchange(rk, u, v); err != nil {
+			t.Fatalf("Exchange: %v", err)
+		}
+		if err := rk.Validate(); err != nil {
+			t.Fatalf("invalid after Exchange: %v\nset %+v", err, set)
+		}
+		after := rk.Times()
+		// Property: v takes u's delivery time exactly.
+		if after.Delivery[v] != before.Delivery[u] {
+			t.Fatalf("d'(v)=%d, want d(u)=%d", after.Delivery[v], before.Delivery[u])
+		}
+		// Property 1: d'(u) > d'(v).
+		if after.Delivery[u] <= after.Delivery[v] {
+			t.Fatalf("d'(u)=%d <= d'(v)=%d", after.Delivery[u], after.Delivery[v])
+		}
+		// u lands at v's old slot; exactly d(v) when v's parent was not a
+		// descendant of u (whose reception may have shrunk).
+		if !descU[pv] && pv != u {
+			if after.Delivery[u] != before.Delivery[v] {
+				t.Fatalf("d'(u)=%d, want d(v)=%d", after.Delivery[u], before.Delivery[v])
+			}
+		}
+		// Property 2: nodes outside {u, v} and their old subtrees keep
+		// their delivery times; descendants never get later.
+		for w := 1; w < len(set.Nodes); w++ {
+			wid := model.NodeID(w)
+			if wid == u || wid == v {
+				continue
+			}
+			if descU[wid] || descV[wid] {
+				if after.Delivery[w] > before.Delivery[w] {
+					t.Fatalf("descendant %d delivery increased %d -> %d", w, before.Delivery[w], after.Delivery[w])
+				}
+			} else if after.Delivery[w] != before.Delivery[w] {
+				t.Fatalf("unrelated node %d delivery changed %d -> %d", w, before.Delivery[w], after.Delivery[w])
+			}
+		}
+		// Property 3: DT does not increase.
+		if after.DT > before.DT {
+			t.Fatalf("DT increased %d -> %d", before.DT, after.DT)
+		}
+	}
+	if applied < 30 {
+		t.Fatalf("only %d exchanges exercised; generator too weak", applied)
+	}
+}
+
+func TestExchangePreconditions(t *testing.T) {
+	set := figure1Set(t) // ratio not constant
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := FromSchedule(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Exchange(rk, 4, 1); err == nil {
+		t.Error("Exchange accepted a non-constant-ratio instance")
+	}
+	// Constant ratio but equal overheads.
+	eq := &model.MulticastSet{Latency: 1, Nodes: []model.Node{{Send: 2, Recv: 2}, {Send: 2, Recv: 2}, {Send: 2, Recv: 2}}}
+	s2, err := core.Schedule(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk2, err := FromSchedule(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Exchange(rk2, 1, 2); err == nil {
+		t.Error("Exchange accepted equal overheads (e must be >= 2)")
+	}
+}
+
+func TestLayerizeConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		set := randPow2Set(rng, 2+rng.Intn(10))
+		order := set.SortedDestinations()
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sch, err := core.ScheduleOrder(set, order)
+		if err != nil {
+			t.Fatalf("ScheduleOrder: %v", err)
+		}
+		rk, err := FromSchedule(sch)
+		if err != nil {
+			t.Fatalf("FromSchedule: %v", err)
+		}
+		beforeDT := rk.Times().DT
+		n := set.N()
+		if _, err := Layerize(rk, 4*n*n+20); err != nil {
+			t.Fatalf("trial %d: Layerize: %v\nset %+v", trial, err, set)
+		}
+		if err := rk.Validate(); err != nil {
+			t.Fatalf("invalid after Layerize: %v", err)
+		}
+		if !rk.IsLayered() {
+			t.Fatalf("not layered after Layerize")
+		}
+		if afterDT := rk.Times().DT; afterDT > beforeDT {
+			t.Fatalf("Layerize increased DT %d -> %d", beforeDT, afterDT)
+		}
+		// Compaction keeps it a valid schedule and cannot raise DT.
+		comp, err := rk.Compact()
+		if err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+		if model.DT(comp) > rk.Times().DT {
+			t.Fatalf("compaction increased DT")
+		}
+	}
+}
+
+func TestGreedyAchievesOptimalDTOnRoundedInstances(t *testing.T) {
+	// The heart of the Theorem 1 proof: on constant-ratio power-of-two
+	// instances, greedy's delivery completion time equals the optimal
+	// delivery completion time over ALL schedules (layered or not),
+	// because Lemma 3 layerizes any schedule without DT loss and greedy is
+	// DT-optimal among layered schedules (Corollary 1). Verified
+	// exhaustively on tiny instances.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		set := randPow2Set(rng, 2+rng.Intn(3))
+		g, err := core.Schedule(set)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		greedyDT := model.DT(g)
+		minDT := int64(1 << 60)
+		if err := exact.EnumerateSchedules(set, func(s *model.Schedule) bool {
+			if dt := model.DT(s); dt < minDT {
+				minDT = dt
+			}
+			return true
+		}); err != nil {
+			t.Fatalf("EnumerateSchedules: %v", err)
+		}
+		if greedyDT != minDT {
+			t.Fatalf("trial %d: greedy DT %d != optimal DT %d on rounded instance %+v", trial, greedyDT, minDT, set)
+		}
+	}
+}
+
+func TestTheorem1BoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 80; trial++ {
+		set := randSet(rng, 1+rng.Intn(7))
+		opt, err := exact.OptimalRT(set)
+		if err != nil {
+			t.Fatalf("OptimalRT: %v", err)
+		}
+		g, err := core.Schedule(set)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		rt := model.RT(g)
+		p := ParamsOf(set)
+		if float64(rt) >= p.Bound(opt) {
+			t.Fatalf("trial %d: Theorem 1 violated: greedy %d >= bound %.2f (opt %d, C %.2f, beta %d)\nset %+v",
+				trial, rt, p.Bound(opt), opt, p.C, p.Beta, set)
+		}
+	}
+}
+
+func TestLemma2CrossInstanceDomination(t *testing.T) {
+	// Lemma 2: greedy on S has DT no larger than any layered schedule for
+	// a node-wise dominating S'. Tested with greedy-on-S vs greedy-on-S'
+	// (greedy schedules are layered).
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 80; trial++ {
+		set := randSet(rng, 1+rng.Intn(12))
+		sp := RoundUp(set)
+		g, err := core.Schedule(set)
+		if err != nil {
+			t.Fatalf("greedy S: %v", err)
+		}
+		gp, err := core.Schedule(sp)
+		if err != nil {
+			t.Fatalf("greedy S': %v", err)
+		}
+		if model.DT(g) > model.DT(gp) {
+			t.Fatalf("trial %d: GREEDY_D(S)=%d > GREEDY_D(S')=%d", trial, model.DT(g), model.DT(gp))
+		}
+	}
+}

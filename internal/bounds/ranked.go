@@ -1,0 +1,192 @@
+package bounds
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Ranked is a multicast schedule with explicit per-child transmission
+// ranks. Unlike model.Schedule, a sender's occupied ranks need not be
+// consecutive: rank k means the child is delivered at
+// r(parent) + k*osend(parent) + L, and gaps denote sender idle time. The
+// Lemma 3 exchange transformation naturally produces gapped rank
+// assignments, so the bound machinery works in this representation and
+// compacts back to a model.Schedule at the end (compaction never increases
+// any delivery time).
+type Ranked struct {
+	Set    *model.MulticastSet
+	Parent []model.NodeID // -1 for the root
+	Rank   []int64        // 1-based transmission rank at the parent; 0 for the root
+}
+
+// FromSchedule converts a complete model.Schedule into the ranked
+// representation (consecutive ranks).
+func FromSchedule(sch *model.Schedule) (*Ranked, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(sch.Set.Nodes)
+	rk := &Ranked{
+		Set:    sch.Set,
+		Parent: make([]model.NodeID, n),
+		Rank:   make([]int64, n),
+	}
+	rk.Parent[0] = -1
+	for v := 0; v < n; v++ {
+		for i, c := range sch.Children(model.NodeID(v)) {
+			rk.Parent[c] = model.NodeID(v)
+			rk.Rank[c] = int64(i + 1)
+		}
+	}
+	return rk, nil
+}
+
+// Validate checks tree structure and rank sanity: ranks positive and
+// unique per parent, every destination attached, no cycles.
+func (rk *Ranked) Validate() error {
+	n := len(rk.Set.Nodes)
+	if len(rk.Parent) != n || len(rk.Rank) != n {
+		return fmt.Errorf("bounds: ranked schedule sized %d, set has %d nodes", len(rk.Parent), n)
+	}
+	if rk.Parent[0] != -1 || rk.Rank[0] != 0 {
+		return fmt.Errorf("bounds: root must have parent -1 and rank 0")
+	}
+	used := map[[2]int64]bool{}
+	for v := 1; v < n; v++ {
+		p := rk.Parent[v]
+		if p < 0 || p >= n || p == v {
+			return fmt.Errorf("bounds: node %d has invalid parent %d", v, p)
+		}
+		if rk.Rank[v] < 1 {
+			return fmt.Errorf("bounds: node %d has rank %d < 1", v, rk.Rank[v])
+		}
+		key := [2]int64{int64(p), rk.Rank[v]}
+		if used[key] {
+			return fmt.Errorf("bounds: parent %d has two children at rank %d", p, rk.Rank[v])
+		}
+		used[key] = true
+	}
+	// Cycle check: walk up from every node.
+	for v := 1; v < n; v++ {
+		seen := 0
+		for w := v; w != 0; w = int(rk.Parent[w]) {
+			seen++
+			if seen > n {
+				return fmt.Errorf("bounds: cycle through node %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// ChildrenOf returns v's children sorted by rank.
+func (rk *Ranked) ChildrenOf(v model.NodeID) []model.NodeID {
+	var out []model.NodeID
+	for c := 1; c < len(rk.Parent); c++ {
+		if rk.Parent[c] == v {
+			out = append(out, model.NodeID(c))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rk.Rank[out[i]] < rk.Rank[out[j]] })
+	return out
+}
+
+// Times evaluates delivery and reception times honoring explicit ranks.
+func (rk *Ranked) Times() model.Times {
+	n := len(rk.Set.Nodes)
+	tm := model.Times{Delivery: make([]int64, n), Reception: make([]int64, n)}
+	L := rk.Set.Latency
+	// Order nodes so parents precede children.
+	order := make([]model.NodeID, 0, n)
+	depth := make([]int, n)
+	for v := 0; v < n; v++ {
+		d := 0
+		for w := v; w != 0; w = int(rk.Parent[w]) {
+			d++
+		}
+		depth[v] = d
+		order = append(order, model.NodeID(v))
+	}
+	sort.Slice(order, func(i, j int) bool { return depth[order[i]] < depth[order[j]] })
+	for _, v := range order {
+		if v == 0 {
+			continue
+		}
+		p := rk.Parent[v]
+		d := tm.Reception[p] + rk.Rank[v]*rk.Set.Nodes[p].Send + L
+		tm.Delivery[v] = d
+		tm.Reception[v] = d + rk.Set.Nodes[v].Recv
+		if d > tm.DT {
+			tm.DT = d
+		}
+		if tm.Reception[v] > tm.RT {
+			tm.RT = tm.Reception[v]
+		}
+	}
+	return tm
+}
+
+// Compact removes rank gaps (each parent's children are renumbered
+// 1..m preserving order) and returns the equivalent model.Schedule.
+// Compaction never increases any delivery time, so DT and RT can only
+// shrink or stay equal.
+func (rk *Ranked) Compact() (*model.Schedule, error) {
+	if err := rk.Validate(); err != nil {
+		return nil, err
+	}
+	sch := model.NewSchedule(rk.Set)
+	// Attach in BFS order so parents are attached before children.
+	queue := []model.NodeID{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range rk.ChildrenOf(v) {
+			if err := sch.AddChild(v, c); err != nil {
+				return nil, err
+			}
+			queue = append(queue, c)
+		}
+	}
+	return sch, nil
+}
+
+// IsLayered reports whether the ranked schedule is layered under the
+// non-strict convention of model.IsLayered.
+func (rk *Ranked) IsLayered() bool {
+	tm := rk.Times()
+	ids := rk.Set.SortedDestinations()
+	maxSoFar := int64(-1)
+	for i := 0; i < len(ids); {
+		j := i
+		groupMin, groupMax := tm.Delivery[ids[i]], tm.Delivery[ids[i]]
+		for j < len(ids) && rk.Set.Nodes[ids[j]].Send == rk.Set.Nodes[ids[i]].Send {
+			d := tm.Delivery[ids[j]]
+			if d < groupMin {
+				groupMin = d
+			}
+			if d > groupMax {
+				groupMax = d
+			}
+			j++
+		}
+		if groupMin < maxSoFar {
+			return false
+		}
+		if groupMax > maxSoFar {
+			maxSoFar = groupMax
+		}
+		i = j
+	}
+	return true
+}
+
+// Clone deep-copies the ranked schedule (sharing the set).
+func (rk *Ranked) Clone() *Ranked {
+	return &Ranked{
+		Set:    rk.Set,
+		Parent: append([]model.NodeID(nil), rk.Parent...),
+		Rank:   append([]int64(nil), rk.Rank...),
+	}
+}

@@ -1,0 +1,154 @@
+// Package collective extends the multicast machinery to the other
+// collective communication operations the paper's conclusion lists as
+// future work: broadcast, reduce (gather-combine toward a root), and
+// barrier. Each is built on a multicast schedule tree and analyzed under
+// the same receive-send model.
+//
+// Timing conventions:
+//
+//   - Broadcast is multicast to every node, so it reuses the multicast
+//     schedule and objective directly.
+//   - Reduce runs the tree in reverse: leaves start at time 0 and each
+//     parent absorbs its children's contributions one at a time, paying the
+//     child's sending overhead at the child and its own receiving overhead
+//     per message; the root's finish time is the completion. Receives are
+//     processed in the reverse of the multicast delivery order (the last
+//     destination delivered becomes the first reduced), which lets a
+//     pipelined tree drain symmetrically.
+//   - Barrier is a reduce followed by a broadcast on the same tree.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// BroadcastRT is the completion time of using the schedule as a broadcast;
+// identical to the multicast reception completion time.
+func BroadcastRT(sch *model.Schedule) int64 {
+	return model.RT(sch)
+}
+
+// ReduceTimes holds the reverse-tree analysis.
+type ReduceTimes struct {
+	// Ready[v] is when v has combined all its children's contributions
+	// and is ready to send upward (leaves: 0).
+	Ready []int64
+	// Done is the time the root has absorbed every contribution: the
+	// reduce completion time.
+	Done int64
+}
+
+// Reduce analyzes the schedule tree as a reduction toward the source. For
+// each node v with children c_1..c_k (processed in reverse delivery
+// order), v receives contribution i at
+//
+//	recv_i = max(recv_{i-1}, ready(c_i) + osend(c_i) + L) + orecv(v)
+//
+// where recv_0 = ready(v)'s own-subtree base of 0 for leaves; v is busy
+// orecv(v) per absorbed message and children must have finished their own
+// subtrees before sending up.
+func Reduce(sch *model.Schedule) (ReduceTimes, error) {
+	if err := sch.Validate(); err != nil {
+		return ReduceTimes{}, err
+	}
+	set := sch.Set
+	n := len(set.Nodes)
+	rt := ReduceTimes{Ready: make([]int64, n)}
+	var rec func(v model.NodeID) int64
+	rec = func(v model.NodeID) int64 {
+		kids := sch.Children(v)
+		busyUntil := int64(0)
+		for i := len(kids) - 1; i >= 0; i-- {
+			c := kids[i]
+			childReady := rec(c)
+			arrive := childReady + set.Nodes[c].Send + set.Latency
+			if arrive < busyUntil {
+				arrive = busyUntil
+			}
+			busyUntil = arrive + set.Nodes[v].Recv
+		}
+		rt.Ready[v] = busyUntil
+		return busyUntil
+	}
+	rt.Done = rec(0)
+	return rt, nil
+}
+
+// BarrierRT is the completion time of a barrier implemented as a reduce
+// followed by a broadcast on the same schedule tree.
+func BarrierRT(sch *model.Schedule) (int64, error) {
+	red, err := Reduce(sch)
+	if err != nil {
+		return 0, err
+	}
+	return red.Done + model.RT(sch), nil
+}
+
+// Gather returns, for every node, the time its contribution reaches the
+// root during a reduce; index 0 is the root's own (time its combine
+// completes). Useful for diagnosing stragglers in the reverse tree.
+func Gather(sch *model.Schedule) ([]int64, error) {
+	red, err := Reduce(sch)
+	if err != nil {
+		return nil, err
+	}
+	set := sch.Set
+	n := len(set.Nodes)
+	out := make([]int64, n)
+	// A node's contribution reaches the root when the root has absorbed
+	// the message of the subtree containing it; conservatively this is the
+	// absorb time of its top-level ancestor's message. Recompute the
+	// per-child absorb times at the root.
+	kids := sch.Children(0)
+	busyUntil := int64(0)
+	absorb := make(map[model.NodeID]int64, len(kids))
+	for i := len(kids) - 1; i >= 0; i-- {
+		c := kids[i]
+		arrive := red.Ready[c] + set.Nodes[c].Send + set.Latency
+		if arrive < busyUntil {
+			arrive = busyUntil
+		}
+		busyUntil = arrive + set.Nodes[0].Recv
+		absorb[c] = busyUntil
+	}
+	// Propagate: every node inherits its top-level ancestor's absorb time.
+	var mark func(v model.NodeID, t int64)
+	mark = func(v model.NodeID, t int64) {
+		out[v] = t
+		for _, c := range sch.Children(v) {
+			mark(c, t)
+		}
+	}
+	out[0] = red.Done
+	for _, c := range kids {
+		mark(c, absorb[c])
+	}
+	return out, nil
+}
+
+// Plan couples a scheduler with the collective analyses, so callers can
+// ask "what does this algorithm's tree cost for broadcast/reduce/barrier"
+// in one shot.
+type Plan struct {
+	Schedule  *model.Schedule
+	Broadcast int64
+	Reduce    int64
+	Barrier   int64
+}
+
+// PlanFor builds the scheduler's tree for the set and analyzes all three
+// collectives on it.
+func PlanFor(s model.Scheduler, set *model.MulticastSet) (*Plan, error) {
+	sch, err := s.Schedule(set)
+	if err != nil {
+		return nil, fmt.Errorf("collective: %s: %w", s.Name(), err)
+	}
+	red, err := Reduce(sch)
+	if err != nil {
+		return nil, err
+	}
+	bc := model.RT(sch)
+	return &Plan{Schedule: sch, Broadcast: bc, Reduce: red.Done, Barrier: red.Done + bc}, nil
+}

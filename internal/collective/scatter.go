@@ -1,0 +1,128 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ScatterCosts supplies byte-dependent costs for personalized collectives.
+// Unlike broadcast (where every transmission carries the same message and
+// the folded integer overheads of model.Node suffice), a scatter sends a
+// distinct block to every destination, so a transmission to the root of a
+// subtree carries the total bytes destined for that subtree and its cost
+// depends on that size.
+type ScatterCosts struct {
+	// Send returns the sending overhead node v pays for a message of the
+	// given size.
+	Send func(v model.NodeID, bytes int64) int64
+	// Recv returns the receiving overhead of node v for the size.
+	Recv func(v model.NodeID, bytes int64) int64
+	// Latency returns the network latency for the size.
+	Latency func(bytes int64) int64
+}
+
+// LinearCosts builds ScatterCosts from per-node fixed + per-KB components
+// (the measurement model of package cluster): cost = fixed + perKB *
+// ceil(bytes/1024). Slices are indexed by node ID.
+func LinearCosts(sendFixed, sendPerKB, recvFixed, recvPerKB []int64, latFixed, latPerKB int64) (ScatterCosts, error) {
+	n := len(sendFixed)
+	if len(sendPerKB) != n || len(recvFixed) != n || len(recvPerKB) != n {
+		return ScatterCosts{}, fmt.Errorf("collective: cost slices have inconsistent lengths")
+	}
+	kb := func(bytes int64) int64 {
+		if bytes <= 0 {
+			return 0
+		}
+		return (bytes + 1023) / 1024
+	}
+	return ScatterCosts{
+		Send: func(v model.NodeID, bytes int64) int64 {
+			return sendFixed[v] + sendPerKB[v]*kb(bytes)
+		},
+		Recv: func(v model.NodeID, bytes int64) int64 {
+			return recvFixed[v] + recvPerKB[v]*kb(bytes)
+		},
+		Latency: func(bytes int64) int64 {
+			return latFixed + latPerKB*kb(bytes)
+		},
+	}, nil
+}
+
+// ScatterResult is the timing of a scatter on a tree.
+type ScatterResult struct {
+	// Delivery[v] is when v's (bundled) block arrives; Done[v] is when v
+	// has finished receiving it.
+	Delivery, Done []int64
+	// Bytes[v] is the payload size of the transmission INTO v: v's own
+	// block plus everything v must forward.
+	Bytes []int64
+	// RT is the completion time: the last Done.
+	RT int64
+	// TotalTraffic is the sum of bytes over all transmissions, a measure
+	// of the forwarding overhead trees pay versus a direct star.
+	TotalTraffic int64
+}
+
+// Scatter analyzes a personalized scatter on the schedule tree: the
+// source holds one block per destination (data[v] bytes for destination
+// v; data[0] is ignored); each transmission to child c bundles the blocks
+// of c's whole subtree. Node timing follows the receive-send discipline:
+// a node finishes receiving its bundle, then sends one bundle per child
+// in delivery order, paying size-dependent overheads throughout.
+func Scatter(sch *model.Schedule, data []int64, costs ScatterCosts) (*ScatterResult, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	set := sch.Set
+	n := len(set.Nodes)
+	if len(data) != n {
+		return nil, fmt.Errorf("collective: %d data sizes for %d nodes", len(data), n)
+	}
+	if costs.Send == nil || costs.Recv == nil || costs.Latency == nil {
+		return nil, fmt.Errorf("collective: incomplete ScatterCosts")
+	}
+	for v := 1; v < n; v++ {
+		if data[v] < 0 {
+			return nil, fmt.Errorf("collective: negative block size for node %d", v)
+		}
+	}
+	res := &ScatterResult{
+		Delivery: make([]int64, n),
+		Done:     make([]int64, n),
+		Bytes:    make([]int64, n),
+	}
+	// Subtree byte totals, bottom-up.
+	var subtree func(v model.NodeID) int64
+	subtree = func(v model.NodeID) int64 {
+		total := int64(0)
+		if v != 0 {
+			total = data[v]
+		}
+		for _, c := range sch.Children(v) {
+			total += subtree(c)
+		}
+		res.Bytes[v] = total
+		return total
+	}
+	subtree(0)
+	// Timing, top-down (parents before children).
+	queue := []model.NodeID{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		free := res.Done[v] // source: 0
+		for _, c := range sch.Children(v) {
+			size := res.Bytes[c]
+			free += costs.Send(v, size)
+			res.Delivery[c] = free + costs.Latency(size)
+			res.Done[c] = res.Delivery[c] + costs.Recv(c, size)
+			res.TotalTraffic += size
+			if res.Done[c] > res.RT {
+				res.RT = res.Done[c]
+			}
+			queue = append(queue, c)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,361 @@
+// Package exact computes optimal multicast schedules in the heterogeneous
+// receive-send model.
+//
+// The centerpiece is the dynamic program of Section 4 of the paper
+// (Lemma 4 / Theorem 2): for a network with k distinct workstation types,
+// T(s, i1..ik) -- the minimum reception completion time of a multicast from
+// a source of type s to ij nodes of type j -- satisfies
+//
+//	T(s, 0, ..., 0) = 0
+//	T(s, i) = min over types l with i_l >= 1, over splits y <= i - e_l of
+//	          max( T(l, y) + S(s) + L + R(l),
+//	               T(s, i - y - e_l) + S(s) )
+//
+// which the DP evaluates in O(n^(2k)) for fixed k. The package also
+// reconstructs an optimal schedule from the DP choices, precomputes the
+// full table the paper suggests (constant-time lookup for every possible
+// multicast in a network), and provides a pruned brute-force enumerator
+// used as an independent ground-truth oracle for small instances.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// MaxStates bounds the DP state space (k * prod(n_j+1)); New returns an
+// error beyond it. The default admits e.g. k=4 with ~120 nodes per type.
+const MaxStates = 1 << 26
+
+// Type is a distinct workstation type: a (send, recv) overhead pair.
+type Type struct {
+	Send, Recv int64
+}
+
+// DP is the Lemma 4 dynamic program for one network (a fixed latency and
+// inventory of node types). A DP is not safe for concurrent use.
+type DP struct {
+	latency int64
+	types   []Type // sorted by (Send, Recv), all distinct
+	counts  []int  // max nodes of each type available as destinations
+	dims    []int  // counts[j]+1
+	strides []int64
+	prod    int64 // product of dims
+
+	value  []int64  // memo: -1 = unknown; index = state
+	choice []uint64 // packed (l, yState) for reconstruction
+
+	scratchY   []int
+	scratchRem []int
+}
+
+const unknown = int64(-1)
+const inf = int64(math.MaxInt64) / 4
+
+// New creates a DP for a network with the given latency, node types and
+// per-type destination counts. Types must be distinct; they are sorted
+// internally by (Send, Recv).
+func New(latency int64, types []Type, counts []int) (*DP, error) {
+	if latency <= 0 {
+		return nil, fmt.Errorf("exact: latency must be positive, got %d", latency)
+	}
+	if len(types) == 0 || len(types) != len(counts) {
+		return nil, fmt.Errorf("exact: %d types with %d counts", len(types), len(counts))
+	}
+	idx := make([]int, len(types))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := types[idx[a]], types[idx[b]]
+		if ta.Send != tb.Send {
+			return ta.Send < tb.Send
+		}
+		return ta.Recv < tb.Recv
+	})
+	dp := &DP{latency: latency}
+	for _, i := range idx {
+		t := types[i]
+		if t.Send <= 0 || t.Recv <= 0 {
+			return nil, fmt.Errorf("exact: type %+v has non-positive overheads", t)
+		}
+		if counts[i] < 0 {
+			return nil, fmt.Errorf("exact: negative count %d", counts[i])
+		}
+		if len(dp.types) > 0 && dp.types[len(dp.types)-1] == t {
+			return nil, fmt.Errorf("exact: duplicate type %+v", t)
+		}
+		dp.types = append(dp.types, t)
+		dp.counts = append(dp.counts, counts[i])
+	}
+	k := len(dp.types)
+	dp.dims = make([]int, k)
+	dp.strides = make([]int64, k)
+	dp.prod = 1
+	for j := 0; j < k; j++ {
+		dp.dims[j] = dp.counts[j] + 1
+		dp.strides[j] = dp.prod
+		dp.prod *= int64(dp.dims[j])
+		if dp.prod > MaxStates {
+			return nil, fmt.Errorf("exact: state space too large (> %d states)", MaxStates)
+		}
+	}
+	total := int64(k) * dp.prod
+	if total > MaxStates {
+		return nil, fmt.Errorf("exact: state space too large: %d states (> %d)", total, MaxStates)
+	}
+	dp.value = make([]int64, total)
+	for i := range dp.value {
+		dp.value[i] = unknown
+	}
+	dp.choice = make([]uint64, total)
+	dp.scratchY = make([]int, k)
+	dp.scratchRem = make([]int, k)
+	return dp, nil
+}
+
+// K returns the number of distinct types.
+func (dp *DP) K() int { return len(dp.types) }
+
+// Types returns the sorted type list.
+func (dp *DP) Types() []Type { return append([]Type(nil), dp.types...) }
+
+// Counts returns the per-type destination counts the DP was built for.
+func (dp *DP) Counts() []int { return append([]int(nil), dp.counts...) }
+
+// States returns the total number of DP states.
+func (dp *DP) States() int64 { return int64(len(dp.value)) }
+
+// Computed returns how many states have been evaluated so far.
+func (dp *DP) Computed() int64 {
+	var c int64
+	for _, v := range dp.value {
+		if v != unknown {
+			c++
+		}
+	}
+	return c
+}
+
+func (dp *DP) encodeVec(vec []int) int64 {
+	var s int64
+	for j, v := range vec {
+		s += int64(v) * dp.strides[j]
+	}
+	return s
+}
+
+func (dp *DP) decodeVec(state int64, out []int) {
+	for j := len(dp.dims) - 1; j >= 0; j-- {
+		out[j] = int(state / dp.strides[j])
+		state %= dp.strides[j]
+	}
+}
+
+func (dp *DP) stateIndex(src int, vecState int64) int64 {
+	return int64(src)*dp.prod + vecState
+}
+
+// Optimal returns T(srcType, counts): the minimum reception completion time
+// of a multicast from a source of type srcType to counts[j] destinations of
+// type j. counts must be within the per-type limits the DP was built with.
+func (dp *DP) Optimal(srcType int, counts []int) (int64, error) {
+	if err := dp.checkQuery(srcType, counts); err != nil {
+		return 0, err
+	}
+	vec := append([]int(nil), counts...)
+	return dp.solve(srcType, vec), nil
+}
+
+func (dp *DP) checkQuery(srcType int, counts []int) error {
+	if srcType < 0 || srcType >= len(dp.types) {
+		return fmt.Errorf("exact: source type %d out of range [0,%d)", srcType, len(dp.types))
+	}
+	if len(counts) != len(dp.types) {
+		return fmt.Errorf("exact: %d counts for %d types", len(counts), len(dp.types))
+	}
+	for j, c := range counts {
+		if c < 0 || c > dp.counts[j] {
+			return fmt.Errorf("exact: count %d of type %d outside [0,%d]", c, j, dp.counts[j])
+		}
+	}
+	return nil
+}
+
+// solve evaluates the Lemma 4 recurrence with memoization. vec is mutated
+// during the call but restored before returning.
+func (dp *DP) solve(s int, vec []int) int64 {
+	vecState := dp.encodeVec(vec)
+	idx := dp.stateIndex(s, vecState)
+	if v := dp.value[idx]; v != unknown {
+		return v
+	}
+	k := len(dp.types)
+	total := 0
+	for _, v := range vec {
+		total += v
+	}
+	if total == 0 {
+		dp.value[idx] = 0
+		return 0
+	}
+	S, L := dp.types[s].Send, dp.latency
+	best := inf
+	var bestChoice uint64
+	y := make([]int, k)
+	rem := make([]int, k)
+	for l := 0; l < k; l++ {
+		if vec[l] == 0 {
+			continue
+		}
+		vec[l]-- // reserve the node of type l that receives first
+		// Enumerate every split y <= vec componentwise with an odometer.
+		for j := range y {
+			y[j] = 0
+		}
+		for {
+			for j := range rem {
+				rem[j] = vec[j] - y[j]
+			}
+			a := dp.solve(l, y) + S + L + dp.types[l].Recv
+			b := dp.solve(s, rem) + S
+			v := a
+			if b > v {
+				v = b
+			}
+			if v < best {
+				best = v
+				bestChoice = uint64(l)<<40 | uint64(dp.encodeVec(y))
+			}
+			// Advance the odometer.
+			j := 0
+			for ; j < k; j++ {
+				if y[j] < vec[j] {
+					y[j]++
+					break
+				}
+				y[j] = 0
+			}
+			if j == k {
+				break
+			}
+		}
+		vec[l]++
+	}
+	dp.value[idx] = best
+	dp.choice[idx] = bestChoice
+	return best
+}
+
+// FillAll evaluates every state (all source types, all count vectors up to
+// the per-type limits), realizing the precomputed table of Theorem 2's
+// closing remark. After FillAll every Optimal call is a constant-time
+// lookup.
+func (dp *DP) FillAll() {
+	k := len(dp.types)
+	vec := make([]int, k)
+	for s := 0; s < k; s++ {
+		for j := range vec {
+			vec[j] = dp.counts[j]
+		}
+		dp.solve(s, vec) // solving the full state fills all sub-states
+		// Not every sub-state is necessarily reachable from the full one
+		// for this source; sweep the remainder explicitly.
+		for st := int64(0); st < dp.prod; st++ {
+			if dp.value[dp.stateIndex(s, st)] == unknown {
+				dp.decodeVec(st, vec)
+				dp.solve(s, vec)
+			}
+		}
+	}
+}
+
+// typeTree is an optimal schedule expressed over types rather than node
+// IDs; children are in delivery order.
+type typeTree struct {
+	typ      int
+	children []*typeTree
+}
+
+// reconstruct rebuilds an optimal type-level schedule for state (s, vec).
+// solve must have been called for the state already (Optimal does this).
+func (dp *DP) reconstruct(s int, vec []int) *typeTree {
+	root := &typeTree{typ: s}
+	k := len(dp.types)
+	cur := append([]int(nil), vec...)
+	y := make([]int, k)
+	for {
+		total := 0
+		for _, v := range cur {
+			total += v
+		}
+		if total == 0 {
+			return root
+		}
+		idx := dp.stateIndex(s, dp.encodeVec(cur))
+		if dp.value[idx] == unknown {
+			dp.solve(s, cur)
+		}
+		ch := dp.choice[idx]
+		l := int(ch >> 40)
+		dp.decodeVec(int64(ch&((1<<40)-1)), y)
+		// First child: a node of type l rooting the subtree with counts y.
+		root.children = append(root.children, dp.reconstructChild(l, y))
+		// Continue with the remaining counts from the same source.
+		for j := range cur {
+			cur[j] -= y[j]
+		}
+		cur[l]--
+	}
+}
+
+func (dp *DP) reconstructChild(l int, y []int) *typeTree {
+	sub := dp.reconstruct(l, y)
+	return sub
+}
+
+// ScheduleFor reconstructs an optimal schedule as a model.Schedule for a
+// concrete multicast set whose source has type srcType and whose
+// destinations realize counts. destsByType[j] lists the destination node
+// IDs of type j; the assignment of same-type IDs to tree positions is
+// arbitrary (they are interchangeable).
+func (dp *DP) ScheduleFor(set *model.MulticastSet, srcType int, counts []int, destsByType [][]model.NodeID) (*model.Schedule, error) {
+	if err := dp.checkQuery(srcType, counts); err != nil {
+		return nil, err
+	}
+	for j := range counts {
+		if len(destsByType[j]) != counts[j] {
+			return nil, fmt.Errorf("exact: %d IDs supplied for type %d, counts say %d", len(destsByType[j]), j, counts[j])
+		}
+	}
+	vec := append([]int(nil), counts...)
+	dp.solve(srcType, vec)
+	tt := dp.reconstruct(srcType, vec)
+	sch := model.NewSchedule(set)
+	next := make([]int, len(counts)) // next unused ID index per type
+	var build func(parentID model.NodeID, node *typeTree) error
+	build = func(parentID model.NodeID, node *typeTree) error {
+		for _, c := range node.children {
+			ids := destsByType[c.typ]
+			if next[c.typ] >= len(ids) {
+				return fmt.Errorf("exact: reconstruction used more nodes of type %d than available", c.typ)
+			}
+			id := ids[next[c.typ]]
+			next[c.typ]++
+			if err := sch.AddChild(parentID, id); err != nil {
+				return err
+			}
+			if err := build(id, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0, tt); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}

@@ -1,0 +1,158 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Instance is a multicast set analyzed into the type inventory the DP
+// consumes: the distinct (send, recv) types, the source's type, the
+// per-type destination counts and the destination IDs per type.
+type Instance struct {
+	Set         *model.MulticastSet
+	Types       []Type
+	SourceType  int
+	Counts      []int
+	DestsByType [][]model.NodeID
+}
+
+// Analyze derives the type inventory of a multicast set. Types are sorted
+// by (send, recv). The number of distinct types k drives the DP cost
+// O(n^(2k)); callers can check len(Types) before running the DP.
+func Analyze(set *model.MulticastSet) (*Instance, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[Type]int{}
+	var types []Type
+	for _, n := range set.Nodes {
+		ty := Type{Send: n.Send, Recv: n.Recv}
+		if _, ok := seen[ty]; !ok {
+			seen[ty] = 1
+			types = append(types, ty)
+		}
+	}
+	// Sort by (Send, Recv) to match the DP's internal order.
+	for i := 1; i < len(types); i++ {
+		for j := i; j > 0; j-- {
+			a, b := types[j-1], types[j]
+			if a.Send < b.Send || (a.Send == b.Send && a.Recv <= b.Recv) {
+				break
+			}
+			types[j-1], types[j] = b, a
+		}
+	}
+	index := make(map[Type]int, len(types))
+	for i, t := range types {
+		index[t] = i
+	}
+	inst := &Instance{
+		Set:         set,
+		Types:       types,
+		SourceType:  index[Type{Send: set.Nodes[0].Send, Recv: set.Nodes[0].Recv}],
+		Counts:      make([]int, len(types)),
+		DestsByType: make([][]model.NodeID, len(types)),
+	}
+	for id := 1; id < len(set.Nodes); id++ {
+		ty := index[Type{Send: set.Nodes[id].Send, Recv: set.Nodes[id].Recv}]
+		inst.Counts[ty]++
+		inst.DestsByType[ty] = append(inst.DestsByType[ty], id)
+	}
+	return inst, nil
+}
+
+// K returns the number of distinct types in the instance.
+func (in *Instance) K() int { return len(in.Types) }
+
+// NewDP builds a DP sized for this instance's inventory.
+func (in *Instance) NewDP() (*DP, error) {
+	return New(in.Set.Latency, in.Types, in.Counts)
+}
+
+// OptimalRT returns the optimal reception completion time of the set,
+// computed with the Lemma 4 DP. It fails if the state space exceeds
+// MaxStates (too many distinct types for the instance size).
+func OptimalRT(set *model.MulticastSet) (int64, error) {
+	inst, err := Analyze(set)
+	if err != nil {
+		return 0, err
+	}
+	dp, err := inst.NewDP()
+	if err != nil {
+		return 0, err
+	}
+	return dp.Optimal(inst.SourceType, inst.Counts)
+}
+
+// Schedule computes an optimal schedule for the set via the DP.
+func Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	inst, err := Analyze(set)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := inst.NewDP()
+	if err != nil {
+		return nil, err
+	}
+	return dp.ScheduleFor(set, inst.SourceType, inst.Counts, inst.DestsByType)
+}
+
+// Solver is the model.Scheduler adapter for the DP.
+type Solver struct{}
+
+// Name implements model.Scheduler.
+func (Solver) Name() string { return "dp-optimal" }
+
+// Schedule implements model.Scheduler.
+func (Solver) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	return Schedule(set)
+}
+
+var _ model.Scheduler = Solver{}
+
+// Table is a fully materialized optimal-schedule table for a network: the
+// constant-time lookup structure Theorem 2's closing remark describes. It
+// is safe for concurrent lookups once built.
+type Table struct {
+	dp   *DP
+	inst *Instance
+}
+
+// BuildTable analyzes the set, runs the DP over every state and returns
+// the table.
+func BuildTable(set *model.MulticastSet) (*Table, error) {
+	inst, err := Analyze(set)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := inst.NewDP()
+	if err != nil {
+		return nil, err
+	}
+	dp.FillAll()
+	return &Table{dp: dp, inst: inst}, nil
+}
+
+// K returns the number of types in the table's network.
+func (t *Table) K() int { return t.dp.K() }
+
+// Counts returns the per-type destination counts the table covers.
+func (t *Table) Counts() []int { return t.dp.Counts() }
+
+// States returns the number of precomputed states.
+func (t *Table) States() int64 { return t.dp.States() }
+
+// Lookup returns the optimal reception completion time for a multicast
+// from a source of type srcType to counts[j] destinations of type j.
+func (t *Table) Lookup(srcType int, counts []int) (int64, error) {
+	if err := t.dp.checkQuery(srcType, counts); err != nil {
+		return 0, err
+	}
+	idx := t.dp.stateIndex(srcType, t.dp.encodeVec(counts))
+	v := t.dp.value[idx]
+	if v == unknown {
+		return 0, fmt.Errorf("exact: state not filled (table built incorrectly)")
+	}
+	return v, nil
+}

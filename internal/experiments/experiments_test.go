@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestFigure1Artifacts(t *testing.T) {
+	set := Figure1Set()
+	if set.N() != 4 {
+		t.Fatalf("Figure 1 has %d destinations, want 4", set.N())
+	}
+	if got := model.RT(Figure1ScheduleA()); got != 10 {
+		t.Errorf("schedule (a) RT = %d, want 10", got)
+	}
+	if got := model.RT(Figure1ScheduleB()); got != 9 {
+		t.Errorf("schedule (b) RT = %d, want 9", got)
+	}
+}
+
+// Each report generator must render a non-empty report with its headline
+// and without error markers, at reduced trial counts to keep the test
+// fast.
+func TestReportsRender(t *testing.T) {
+	cases := []struct {
+		name     string
+		run      func() string
+		headline string
+	}{
+		{"E1", E1Figure1, "Figure 1 reproduction"},
+		{"E3", func() string { return E3LayeredOptimality(4) }, "violations: 0"},
+		{"E4", func() string { return E4ApproxRatio(6) }, "bound violations"},
+		{"E5", E5DPScaling, "0 mismatches"},
+		{"E6", func() string { return E6LeafReversal(15) }, "leaf-reversal"},
+		{"E7", func() string { return E7Baselines(6) }, "normalized to greedy+leafrev"},
+		{"E8", func() string { return E8Simulator(6) }, "0 mismatches"},
+		{"E9", E9Table, "ns/lookup"},
+		{"E10", func() string { return E10Sensitivity(3) }, "sensitivity sweeps"},
+		{"E11", func() string { return E11Heuristics(6) }, "heuristics vs exact optimum"},
+		{"E12", func() string { return E12NodeModel(6) }, "factor-2 violations 0"},
+		{"E13", E13Pipelining, "crossover"},
+		{"E14", func() string { return E14Postal(6) }, "postal"},
+		{"E4L", E4LargeN, "lower bounds"},
+		{"E15", func() string { return E15WAN(4) }, "per-link latencies"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			out := c.run()
+			if out == "" {
+				t.Fatal("empty report")
+			}
+			if !strings.Contains(out, c.headline) {
+				t.Errorf("report missing %q:\n%s", c.headline, out)
+			}
+			if strings.Contains(out, "error") && !strings.Contains(out, "errors") {
+				t.Errorf("report contains an error marker:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestAllSchedulersDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range allSchedulers(1) {
+		if seen[s.Name()] {
+			t.Errorf("duplicate scheduler %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	if len(seen) < 7 {
+		t.Errorf("only %d schedulers in the comparison set", len(seen))
+	}
+}

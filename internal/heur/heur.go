@@ -1,0 +1,216 @@
+// Package heur explores the paper's Section 5 future-work direction
+// "other polynomial time approximation algorithms": alternative
+// construction orders, hill-climbing local search over schedule trees, and
+// simulated annealing. All implement model.Scheduler so the harness can
+// pit them against greedy and the exact DP (experiment E11).
+package heur
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// SlowestFirst runs the greedy insertion loop with destinations sorted in
+// NON-increasing order of overhead: slow nodes take early delivery slots
+// (good for their large receiving overheads) at the price of using slow
+// nodes as relays. A natural foil to the paper's fastest-first order.
+type SlowestFirst struct{}
+
+// Name implements model.Scheduler.
+func (SlowestFirst) Name() string { return "slowest-first" }
+
+// Schedule implements model.Scheduler.
+func (SlowestFirst) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	order := set.SortedDestinations()
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return core.ScheduleOrder(set, order)
+}
+
+// LocalSearch hill-climbs from a base scheduler's tree using two move
+// types: swapping the tree positions of two destinations, and relocating
+// a leaf to the end of another node's children list. First-improvement
+// with deterministic scan order; stops at a local optimum or MaxRounds.
+type LocalSearch struct {
+	// Base produces the starting schedule (default: greedy+leafrev).
+	Base model.Scheduler
+	// MaxRounds bounds the improvement passes (default 50).
+	MaxRounds int
+}
+
+// Name implements model.Scheduler.
+func (l LocalSearch) Name() string { return "local-search" }
+
+// Schedule implements model.Scheduler.
+func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	base := l.Base
+	if base == nil {
+		base = core.Greedy{Reversal: true}
+	}
+	rounds := l.MaxRounds
+	if rounds <= 0 {
+		rounds = 50
+	}
+	sch, err := base.Schedule(set)
+	if err != nil {
+		return nil, err
+	}
+	cur := model.RT(sch)
+	n := len(set.Nodes)
+	for round := 0; round < rounds; round++ {
+		improved := false
+		// Move 1: swap tree positions of destination pairs.
+		for a := 1; a < n && !improved; a++ {
+			for b := a + 1; b < n && !improved; b++ {
+				if set.Nodes[a] == set.Nodes[b] {
+					continue // same type: swap cannot change times
+				}
+				if err := sch.SwapNodes(a, b); err != nil {
+					return nil, err
+				}
+				if rt := model.RT(sch); rt < cur {
+					cur = rt
+					improved = true
+				} else if err := sch.SwapNodes(a, b); err != nil { // undo
+					return nil, err
+				}
+			}
+		}
+		// Move 2: relocate any leaf to the end of another node's children
+		// list (later siblings at the old parent shift one rank earlier).
+		for v := 1; v < n && !improved; v++ {
+			leaf := model.NodeID(v)
+			if !sch.IsLeaf(leaf) {
+				continue
+			}
+			for p := 0; p < n && !improved; p++ {
+				target := model.NodeID(p)
+				if p == v || target == sch.Parent(leaf) {
+					continue
+				}
+				if p != 0 && sch.Parent(target) == -1 {
+					continue
+				}
+				oldParent, oldIdx, err := sch.RemoveLeaf(leaf)
+				if err != nil {
+					return nil, err
+				}
+				if err := sch.InsertChild(target, leaf, len(sch.Children(target))); err != nil {
+					// Re-attach and bail; should not happen for valid p.
+					if e2 := sch.InsertChild(oldParent, leaf, oldIdx); e2 != nil {
+						return nil, fmt.Errorf("heur: relocate rollback failed: %v after %v", e2, err)
+					}
+					continue
+				}
+				if rt := model.RT(sch); rt < cur {
+					cur = rt
+					improved = true
+				} else {
+					// Undo exactly: remove from the target's tail and
+					// reinsert at the original index.
+					if _, _, err := sch.RemoveLeaf(leaf); err != nil {
+						return nil, err
+					}
+					if err := sch.InsertChild(oldParent, leaf, oldIdx); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("heur: local search corrupted the schedule: %w", err)
+	}
+	return sch, nil
+}
+
+// Annealing is a seeded simulated-annealing scheduler: random swap /
+// relocate moves with an exponential cooling schedule, starting from
+// greedy+leafrev. Deterministic for a fixed Seed.
+type Annealing struct {
+	// Seed drives the RNG (default 1).
+	Seed int64
+	// Iters is the number of proposed moves (default 2000).
+	Iters int
+	// T0 is the initial temperature in time units (default: 10% of the
+	// starting completion time).
+	T0 float64
+}
+
+// Name implements model.Scheduler.
+func (a Annealing) Name() string { return "annealing" }
+
+// Schedule implements model.Scheduler.
+func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	iters := a.Iters
+	if iters <= 0 {
+		iters = 2000
+	}
+	seed := a.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sch, err := core.ScheduleWithReversal(set)
+	if err != nil {
+		return nil, err
+	}
+	n := len(set.Nodes)
+	if n <= 2 {
+		return sch, nil
+	}
+	cur := float64(model.RT(sch))
+	best := sch.Clone()
+	bestRT := cur
+	t0 := a.T0
+	if t0 <= 0 {
+		t0 = cur * 0.1
+	}
+	if t0 < 1 {
+		t0 = 1
+	}
+	for i := 0; i < iters; i++ {
+		temp := t0 * math.Pow(0.995, float64(i))
+		if temp < 1e-3 {
+			temp = 1e-3
+		}
+		// Propose a random swap of two distinct destinations.
+		x := 1 + rng.Intn(n-1)
+		y := 1 + rng.Intn(n-1)
+		if x == y || set.Nodes[x] == set.Nodes[y] {
+			continue
+		}
+		if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
+			return nil, err
+		}
+		rt := float64(model.RT(sch))
+		accept := rt <= cur || rng.Float64() < math.Exp((cur-rt)/temp)
+		if accept {
+			cur = rt
+			if rt < bestRT {
+				bestRT = rt
+				best = sch.Clone()
+			}
+		} else if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
+			return nil, err
+		}
+	}
+	if err := best.Validate(); err != nil {
+		return nil, fmt.Errorf("heur: annealing corrupted the schedule: %w", err)
+	}
+	return best, nil
+}
+
+var (
+	_ model.Scheduler = SlowestFirst{}
+	_ model.Scheduler = LocalSearch{}
+	_ model.Scheduler = Annealing{}
+)

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestLiveMatchesAnalyticFigure1(t *testing.T) {
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	sch.MustAddChild(0, 2)
+	sch.MustAddChild(1, 3)
+	sch.MustAddChild(1, 4)
+	// Generous unit keeps goroutine-scheduling noise relatively small.
+	res, err := Run(sch, Config{Unit: 4 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Analytic RT is 10 units; allow 40% skew for CI scheduling noise.
+	if err := Validate(sch, res, 1.4); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if res.RT < 9.5 {
+		t.Errorf("measured RT %.2f below the analytic 10 (impossible)", res.RT)
+	}
+}
+
+func TestLiveGreedyOnGeneratedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short mode")
+	}
+	set, err := cluster.Generate(cluster.GenConfig{N: 12, K: 3, MaxSend: 6, Latency: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.ScheduleWithReversal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sch, Config{Unit: time.Millisecond})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := Validate(sch, res, 1.5); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Delivery order sanity: every child is delivered after its parent's
+	// reception.
+	for v := 1; v < len(set.Nodes); v++ {
+		p := sch.Parent(model.NodeID(v))
+		if p == 0 {
+			continue
+		}
+		if res.Delivery[v] < res.Reception[p]-0.5 {
+			t.Errorf("node %d delivered at %.2f before parent %d finished receiving at %.2f",
+				v, res.Delivery[v], p, res.Reception[p])
+		}
+	}
+}
+
+func TestLiveRejectsIncomplete(t *testing.T) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 3, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	if _, err := Run(sch, Config{}); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestLiveTimeout(t *testing.T) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 4, K: 2, MaxSend: 50, Latency: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completion needs hundreds of units; a 10ms timeout with 1ms units
+	// must abort.
+	if _, err := Run(sch, Config{Unit: time.Millisecond, Timeout: 10 * time.Millisecond}); err == nil {
+		t.Error("run completed despite an impossible timeout")
+	}
+}

@@ -1,0 +1,244 @@
+// Package lower computes combinatorial lower bounds on the optimal
+// reception completion time OPT_R of a multicast instance.
+//
+// The exact DP of Section 4 is exponential in the number of distinct
+// types, so for large heterogeneous instances the harness evaluates the
+// greedy algorithm against these bounds instead (experiment E4's
+// large-n companion). Every bound rests on an elementary counting
+// argument restated in its function comment; tests verify LB <= OPT on
+// every instance small enough for the DP, and LB <= RT(schedule) for
+// every schedule produced by any algorithm in the repository.
+package lower
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Direct is the first-transmission bound. In any schedule, the earliest
+// any transmission can complete is the source's first send at
+// osend(source) + L: every other sender must first receive the message
+// through some earlier-completing transmission. Hence every delivery
+// completes at >= osend(source) + L, and every destination v has
+//
+//	r(v) >= osend(source) + L + orecv(v).
+//
+// Direct returns the maximum over destinations.
+func Direct(set *model.MulticastSet) int64 {
+	if set.N() == 0 {
+		return 0
+	}
+	s0 := set.Nodes[0].Send
+	best := int64(0)
+	for _, v := range set.Nodes[1:] {
+		if c := s0 + set.Latency + v.Recv; c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Capacity is the transmission-counting bound. Suppose some schedule
+// completes by time T. Every destination's delivery completes by
+// X = T - min_recv (it still pays its receiving overhead). The source
+// completes its k-th delivery at k*osend(source) + L, so it makes at most
+// (X - L) / osend(source) deliveries by X. A destination v cannot finish
+// receiving before ready(v) = osend(source) + L + orecv(v) (Direct's
+// argument), so its k-th delivery completes at
+// >= ready(v) + k*osend(v) + L and it makes at most
+// (X - L - ready(v)) / osend(v) deliveries by X. If these capacities sum
+// below n, no schedule completes by T. Capacity returns the smallest T
+// passing the count (binary search; the test suite verifies monotonicity
+// and soundness against the DP).
+func Capacity(set *model.MulticastSet) int64 {
+	n := int64(set.N())
+	if n == 0 {
+		return 0
+	}
+	L := set.Latency
+	s0 := set.Nodes[0].Send
+	minRecv := set.Nodes[1].Recv
+	for _, v := range set.Nodes[2:] {
+		if v.Recv < minRecv {
+			minRecv = v.Recv
+		}
+	}
+	ready := make([]int64, len(set.Nodes))
+	for i := 1; i < len(set.Nodes); i++ {
+		ready[i] = s0 + L + set.Nodes[i].Recv
+	}
+	feasible := func(T int64) bool {
+		X := T - minRecv
+		var total int64
+		if c := (X - L) / s0; c > 0 {
+			total += c
+		}
+		if total >= n {
+			return true
+		}
+		for i := 1; i < len(set.Nodes); i++ {
+			if c := (X - L - ready[i]) / set.Nodes[i].Send; c > 0 {
+				total += c
+			}
+			if total >= n {
+				return true
+			}
+		}
+		return false
+	}
+	lo := Direct(set)
+	hi := lo
+	for !feasible(hi) {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SortedRecvBound is the forced-source-slot bound. No relay can complete
+// a delivery before
+//
+//	relayFirst = osend(source) + L + min_recv + min_send + L
+//
+// (it must receive, absorb, send, and pay latency). Before relayFirst,
+// only the source delivers, and its j-th delivery completes exactly at
+// slot_j = j*osend(source) + L. Therefore, for any j with
+// slot_j < relayFirst, at most j-1 deliveries complete strictly before
+// slot_j. Take the j destinations with the largest receiving overheads
+// (sorted descending r_1 >= ... >= r_j): at most j-1 of them are
+// delivered before slot_j, so at least one is delivered at >= slot_j and
+// finishes reception at >= slot_j + r_j. The bound is the maximum over
+// all applicable j, floored at Direct.
+func SortedRecvBound(set *model.MulticastSet) int64 {
+	n := set.N()
+	if n == 0 {
+		return 0
+	}
+	L := set.Latency
+	s0 := set.Nodes[0].Send
+	minRecv, minSend := set.Nodes[1].Recv, set.Nodes[1].Send
+	for _, v := range set.Nodes[2:] {
+		if v.Recv < minRecv {
+			minRecv = v.Recv
+		}
+		if v.Send < minSend {
+			minSend = v.Send
+		}
+	}
+	relayFirst := s0 + L + minRecv + minSend + L
+	recvs := make([]int64, 0, n)
+	for _, v := range set.Nodes[1:] {
+		recvs = append(recvs, v.Recv)
+	}
+	sort.Slice(recvs, func(i, j int) bool { return recvs[i] > recvs[j] })
+	best := Direct(set)
+	for j := 1; j <= n; j++ {
+		slot := int64(j)*s0 + L
+		if slot >= relayFirst {
+			break
+		}
+		if c := slot + recvs[j-1]; c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Growth is the propagation bound, justified by the paper's own Lemma 2
+// and Corollary 1. Build the relaxed instance S-: the source keeps its
+// overheads, every destination gets the minimum destination overheads
+// (min_send, min_recv). S- is node-wise dominated by S, so mapping any
+// schedule T for S onto S- only decreases delivery times:
+// DT_S(T) >= DT_S-(T). Because all destinations of S- are identical,
+// EVERY schedule for S- is layered (the layering condition is vacuous),
+// so Corollary 1 gives DT_S-(T) >= GREEDY_D(S-). Finally every
+// destination still pays at least min_recv after its delivery:
+//
+//	OPT_R(S) >= GREEDY_D(S-) + min_recv.
+func Growth(set *model.MulticastSet) int64 {
+	n := set.N()
+	if n == 0 {
+		return 0
+	}
+	minSend, minRecv := set.Nodes[1].Send, set.Nodes[1].Recv
+	for _, v := range set.Nodes[2:] {
+		if v.Send < minSend {
+			minSend = v.Send
+		}
+		if v.Recv < minRecv {
+			minRecv = v.Recv
+		}
+	}
+	relaxed := &model.MulticastSet{Latency: set.Latency, Nodes: make([]model.Node, len(set.Nodes))}
+	relaxed.Nodes[0] = set.Nodes[0]
+	dest := model.Node{Send: minSend, Recv: minRecv}
+	// Keep the speed correlation: if the source is faster than the
+	// relaxed destinations in one coordinate but slower in the other,
+	// relax the source too (still dominated, still sound).
+	src := relaxed.Nodes[0]
+	if (src.Send < dest.Send && src.Recv > dest.Recv) || (src.Send > dest.Send && src.Recv < dest.Recv) ||
+		(src.Send == dest.Send && src.Recv != dest.Recv) {
+		if src.Send > dest.Send {
+			src = dest
+		} else {
+			src = model.Node{Send: min64(src.Send, dest.Send), Recv: min64(src.Recv, dest.Recv)}
+		}
+		relaxed.Nodes[0] = src
+	}
+	for i := 1; i < len(relaxed.Nodes); i++ {
+		relaxed.Nodes[i] = dest
+	}
+	sch, err := core.Schedule(relaxed)
+	if err != nil {
+		// The relaxed instance is valid by construction; fall back to the
+		// weaker bounds rather than failing the caller.
+		return 0
+	}
+	return model.DT(sch) + minRecv
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Best returns the strongest of the implemented bounds.
+func Best(set *model.MulticastSet) int64 {
+	b := Direct(set)
+	if c := Capacity(set); c > b {
+		b = c
+	}
+	if c := SortedRecvBound(set); c > b {
+		b = c
+	}
+	if c := Growth(set); c > b {
+		b = c
+	}
+	return b
+}
+
+// Gap evaluates a schedule against the best lower bound, returning
+// RT / LB. Values near 1 certify near-optimality without the DP.
+func Gap(sch *model.Schedule) (float64, error) {
+	lb := Best(sch.Set)
+	if lb == 0 {
+		return 1, nil
+	}
+	rt := model.RT(sch)
+	if rt < lb {
+		return 0, fmt.Errorf("lower: schedule RT %d below the lower bound %d (bound bug)", rt, lb)
+	}
+	return float64(rt) / float64(lb), nil
+}

@@ -1,0 +1,179 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/model"
+)
+
+func genSet(t testing.TB, n, k int, seed int64) *model.MulticastSet {
+	t.Helper()
+	set, err := cluster.Generate(cluster.GenConfig{N: n, K: k, MaxSend: 20, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestBoundsNeverExceedOptimal(t *testing.T) {
+	// The critical soundness test: every bound <= OPT on instances small
+	// enough for the exact DP.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		set := genSet(t, 1+rng.Intn(9), 1+rng.Intn(3), rng.Int63())
+		opt, err := exact.OptimalRT(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, f := range map[string]func(*model.MulticastSet) int64{
+			"Direct":          Direct,
+			"Capacity":        Capacity,
+			"SortedRecvBound": SortedRecvBound,
+			"Best":            Best,
+		} {
+			if lb := f(set); lb > opt {
+				t.Fatalf("trial %d: %s = %d exceeds OPT = %d\nset: %+v", trial, name, lb, opt, set)
+			}
+		}
+	}
+}
+
+func TestBoundsNeverExceedAnySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	schedulers := append([]model.Scheduler{core.Greedy{}, core.Greedy{Reversal: true}}, baselines.All(3)...)
+	for trial := 0; trial < 40; trial++ {
+		set := genSet(t, 1+rng.Intn(60), 3, rng.Int63())
+		lb := Best(set)
+		for _, s := range schedulers {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt := model.RT(sch); rt < lb {
+				t.Fatalf("trial %d: %s RT %d below bound %d", trial, s.Name(), rt, lb)
+			}
+		}
+	}
+}
+
+func TestDirectHandComputed(t *testing.T) {
+	// Figure 1: source send 2, L 1, max dest recv 3: Direct = 6.
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Direct(set); got != 6 {
+		t.Errorf("Direct = %d, want 6", got)
+	}
+	// Capacity and SortedRecvBound must be at least Direct.
+	if Capacity(set) < 6 || SortedRecvBound(set) < 6 {
+		t.Error("refined bounds below Direct")
+	}
+	// OPT is 8 for this instance; bounds must stay at or below.
+	if Best(set) > 8 {
+		t.Errorf("Best = %d exceeds the known optimum 8", Best(set))
+	}
+}
+
+func TestCapacityDominatesOnStarLikeInstances(t *testing.T) {
+	// A slow source with many fast destinations: delivery count capacity
+	// binds harder than the single-hop bound.
+	nodes := []model.Node{{Send: 10, Recv: 10}}
+	for i := 0; i < 30; i++ {
+		nodes = append(nodes, model.Node{Send: 1, Recv: 1})
+	}
+	set := &model.MulticastSet{Latency: 1, Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, c := Direct(set), Capacity(set)
+	if c <= d {
+		t.Errorf("Capacity %d should exceed Direct %d here", c, d)
+	}
+}
+
+func TestSortedRecvBoundBindsWithSlowReceivers(t *testing.T) {
+	// Fast source, several very slow receivers: the forced-source-slot
+	// pairing beats Direct.
+	slow := model.Node{Send: 30, Recv: 50}
+	fastSrc := model.Node{Send: 2, Recv: 2}
+	set, err := model.NewMulticastSet(1, fastSrc, slow, slow, slow, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, s := Direct(set), SortedRecvBound(set)
+	// Direct = 2 + 1 + 50 = 53. Source's 2nd..4th slots force later
+	// receptions: slot_2 = 5, + 50 = 55 > 53.
+	if d != 53 {
+		t.Fatalf("Direct = %d, want 53", d)
+	}
+	if s <= d {
+		t.Errorf("SortedRecvBound %d should exceed Direct %d", s, d)
+	}
+}
+
+func TestGap(t *testing.T) {
+	set := genSet(t, 40, 3, 7)
+	sch, err := core.ScheduleWithReversal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gap(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1 {
+		t.Errorf("gap %f below 1", g)
+	}
+	if g > 5 {
+		t.Errorf("gap %f implausibly large for greedy", g)
+	}
+}
+
+func TestZeroDestinations(t *testing.T) {
+	set, err := model.NewMulticastSet(1, model.Node{Send: 1, Recv: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Direct(set) != 0 || Capacity(set) != 0 || SortedRecvBound(set) != 0 || Best(set) != 0 {
+		t.Error("bounds non-zero for an empty multicast")
+	}
+	sch := model.NewSchedule(set)
+	g, err := Gap(sch)
+	if err != nil || g != 1 {
+		t.Errorf("Gap on empty = %f, %v", g, err)
+	}
+}
+
+func TestGreedyGapModestAtScale(t *testing.T) {
+	// At n = 20k (far beyond the DP), greedy must stay within a small
+	// constant of the lower bound -- the large-n companion to E4.
+	set := genSet(t, 20000, 4, 9)
+	sch, err := core.ScheduleWithReversal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gap(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 3 {
+		t.Errorf("greedy gap %f vs lower bound at n=20k (expected small constant)", g)
+	}
+	t.Logf("greedy RT/LB at n=20000: %.3f", g)
+}
+
+func BenchmarkBest(b *testing.B) {
+	set := genSet(b, 10000, 4, 11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Best(set)
+	}
+}

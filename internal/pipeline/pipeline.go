@@ -1,0 +1,183 @@
+// Package pipeline extends the receive-send model to pipelined multicast
+// of a message split into M segments.
+//
+// The paper folds message length into the per-node overheads (its
+// footnote on the model); for long messages a natural refinement --
+// standard in the collective-communication literature -- is to split the
+// message into M segments and stream them down a fixed tree. Each node
+// processes operations strictly in order
+//
+//	recv(1), send(1, c1..ck), recv(2), send(2, c1..ck), ...
+//
+// paying its per-segment receiving overhead for each recv and its
+// per-segment sending overhead for each send; a segment arrives at a
+// child L time units after its send completes, and a recv cannot start
+// before its segment has arrived. With M = 1 the timing coincides exactly
+// with model.ComputeTimes.
+//
+// Pipelining rewards deep trees: a chain streams all segments at full
+// overlap while a wide tree multiplies the per-segment fan-out cost. The
+// harness's E13 experiment exhibits the classic crossover between the
+// paper's greedy tree (best at M = 1) and chains (best at large M).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Result holds per-node completion information for a pipelined run.
+type Result struct {
+	// FirstDelivery[v] is when segment 1 arrives at v.
+	FirstDelivery []int64
+	// Completion[v] is when v finishes receiving its last segment.
+	Completion []int64
+	// RT is the overall completion time: max over destinations of
+	// Completion.
+	RT int64
+}
+
+// Times streams M equal segments down the schedule tree. The schedule's
+// node overheads are interpreted as PER-SEGMENT costs (use SplitSet to
+// derive them from a whole-message instance). The tree must be complete.
+func Times(sch *model.Schedule, segments int) (*Result, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("pipeline: segments must be >= 1, got %d", segments)
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	set := sch.Set
+	n := len(set.Nodes)
+	res := &Result{
+		FirstDelivery: make([]int64, n),
+		Completion:    make([]int64, n),
+	}
+	// arrive[v][m] is when segment m (0-based) is fully delivered to v;
+	// computed as the parent's send completion + L. Nodes are processed
+	// in BFS order: a node's entire op sequence depends only on its own
+	// arrivals, which depend only on its parent's op sequence.
+	arrive := make([][]int64, n)
+	for v := range arrive {
+		arrive[v] = make([]int64, segments)
+	}
+	order := bfsOrder(sch)
+	L := set.Latency
+	for _, v := range order {
+		free := int64(0) // node v's time cursor through its op sequence
+		kids := sch.Children(v)
+		sv := set.Nodes[v].Send
+		for m := 0; m < segments; m++ {
+			if v != 0 {
+				// recv(m): wait for arrival, then pay the overhead.
+				start := free
+				if arrive[v][m] > start {
+					start = arrive[v][m]
+				}
+				free = start + set.Nodes[v].Recv
+				if m == 0 {
+					res.FirstDelivery[v] = arrive[v][m]
+				}
+				res.Completion[v] = free
+			}
+			// send(m, child) for each child in delivery order.
+			for _, c := range kids {
+				free += sv
+				arrive[c][m] = free + L
+			}
+		}
+	}
+	for v := 1; v < n; v++ {
+		if res.Completion[v] > res.RT {
+			res.RT = res.Completion[v]
+		}
+	}
+	return res, nil
+}
+
+func bfsOrder(sch *model.Schedule) []model.NodeID {
+	order := []model.NodeID{0}
+	for i := 0; i < len(order); i++ {
+		order = append(order, sch.Children(order[i])...)
+	}
+	return order
+}
+
+// SplitSet derives the per-segment instance for splitting a message of
+// totalBytes into M segments on the given network spec nodes: each node's
+// overheads are recomputed for ceil(totalBytes/M) bytes using a linear
+// interpolation between its zero-length and full-length overheads.
+//
+// Callers with explicit fixed/per-KB profiles (package cluster) should
+// instead instantiate the spec at the segment size directly; SplitSet is
+// the fallback for raw instances and assumes overheads of the form
+// fixed + slope*bytes with fixed = 0 (pure bandwidth term), i.e. it
+// divides overheads by M, clamping at 1 time unit.
+func SplitSet(set *model.MulticastSet, segments int) (*model.MulticastSet, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("pipeline: segments must be >= 1, got %d", segments)
+	}
+	out := set.Clone()
+	m := int64(segments)
+	// Divide per distinct type, then repair the speed-correlation
+	// invariant: integer division can make two distinct types collide on
+	// send but not recv, which model.Validate rejects.
+	type key struct{ s, r int64 }
+	types := map[key]model.Node{}
+	var orderKeys []key
+	for _, n := range set.Nodes {
+		k := key{n.Send, n.Recv}
+		if _, ok := types[k]; !ok {
+			types[k] = model.Node{}
+			orderKeys = append(orderKeys, k)
+		}
+	}
+	sort.Slice(orderKeys, func(i, j int) bool {
+		a, b := orderKeys[i], orderKeys[j]
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		return a.r < b.r
+	})
+	prev := model.Node{}
+	for _, k := range orderKeys {
+		s := (k.s + m - 1) / m
+		r := (k.r + m - 1) / m
+		if s < 1 {
+			s = 1
+		}
+		if r < 1 {
+			r = 1
+		}
+		if s < prev.Send {
+			s = prev.Send
+		}
+		if s == prev.Send && prev.Send != 0 {
+			r = prev.Recv // merged send classes must share a recv
+		} else if r < prev.Recv {
+			r = prev.Recv
+		}
+		prev = model.Node{Send: s, Recv: r}
+		types[k] = prev
+	}
+	for i, n := range out.Nodes {
+		div := types[key{n.Send, n.Recv}]
+		out.Nodes[i].Send = div.Send
+		out.Nodes[i].Recv = div.Recv
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: split instance invalid: %w", err)
+	}
+	return out, nil
+}
+
+// RT is shorthand: the completion time of streaming M segments down sch.
+func RT(sch *model.Schedule, segments int) (int64, error) {
+	res, err := Times(sch, segments)
+	if err != nil {
+		return 0, err
+	}
+	return res.RT, nil
+}

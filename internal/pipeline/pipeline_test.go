@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func figure1Schedule(t *testing.T) *model.Schedule {
+	t.Helper()
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	sch.MustAddChild(0, 2)
+	sch.MustAddChild(1, 3)
+	sch.MustAddChild(1, 4)
+	return sch
+}
+
+func TestSingleSegmentMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		set, err := cluster.Generate(cluster.GenConfig{N: 1 + rng.Intn(40), K: 3, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := core.Schedule(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Times(sch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := model.ComputeTimes(sch)
+		if res.RT != tm.RT {
+			t.Fatalf("trial %d: pipeline M=1 RT %d != model RT %d", trial, res.RT, tm.RT)
+		}
+		for v := 1; v < len(set.Nodes); v++ {
+			if res.Completion[v] != tm.Reception[v] {
+				t.Fatalf("trial %d: node %d completion %d != reception %d", trial, v, res.Completion[v], tm.Reception[v])
+			}
+			if res.FirstDelivery[v] != tm.Delivery[v] {
+				t.Fatalf("trial %d: node %d first delivery %d != delivery %d", trial, v, res.FirstDelivery[v], tm.Delivery[v])
+			}
+		}
+	}
+}
+
+func TestChainPipelineHandComputed(t *testing.T) {
+	// Chain 0 -> 1 -> 2, homogeneous s=r=1, L=1, M=3 segments.
+	// Node 0 sends segments at [0,1), [1,2), [2,3); arrivals at 1: 2,3,4.
+	// Node 1 ops: recv1 [2,3), send1 [3,4), recv2 [4,5), send2 [5,6),
+	// recv3 [6,7), send3 [7,8); completion(1) = 7.
+	// Node 2 arrivals: 5, 7, 9; ops recv1 [5,6), recv2 [7,8), recv3 [9,10).
+	nodes := []model.Node{{Send: 1, Recv: 1}, {Send: 1, Recv: 1}, {Send: 1, Recv: 1}}
+	set := &model.MulticastSet{Latency: 1, Nodes: nodes}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	sch.MustAddChild(1, 2)
+	res, err := Times(sch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion[1] != 7 {
+		t.Errorf("completion(1) = %d, want 7", res.Completion[1])
+	}
+	if res.Completion[2] != 10 {
+		t.Errorf("completion(2) = %d, want 10", res.Completion[2])
+	}
+	if res.RT != 10 {
+		t.Errorf("RT = %d, want 10", res.RT)
+	}
+}
+
+func TestFigure1MultiSegment(t *testing.T) {
+	sch := figure1Schedule(t)
+	one, err := RT(sch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != 10 {
+		t.Errorf("M=1 RT = %d, want 10", one)
+	}
+	// More segments of the same per-segment size only add work.
+	prev := one
+	for m := 2; m <= 5; m++ {
+		rt, err := RT(sch, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt < prev {
+			t.Errorf("RT decreased with more same-size segments: M=%d %d < %d", m, rt, prev)
+		}
+		prev = rt
+	}
+}
+
+func TestSplitSetValidAndSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		set, err := cluster.Generate(cluster.GenConfig{N: 1 + rng.Intn(20), K: 1 + rng.Intn(4), MaxSend: 64, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{1, 2, 3, 8, 1000} {
+			sp, err := SplitSet(set, m)
+			if err != nil {
+				t.Fatalf("trial %d M=%d: %v", trial, m, err)
+			}
+			for i := range sp.Nodes {
+				if sp.Nodes[i].Send > set.Nodes[i].Send || sp.Nodes[i].Recv > set.Nodes[i].Recv {
+					t.Fatalf("split overhead grew: %+v -> %+v", set.Nodes[i], sp.Nodes[i])
+				}
+				if sp.Nodes[i].Send < 1 || sp.Nodes[i].Recv < 1 {
+					t.Fatalf("split overhead below 1")
+				}
+			}
+		}
+	}
+}
+
+func TestSplitSetIdentityAtOneSegment(t *testing.T) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 10, K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SplitSet(set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Nodes {
+		if sp.Nodes[i].Send != set.Nodes[i].Send || sp.Nodes[i].Recv != set.Nodes[i].Recv {
+			t.Fatalf("SplitSet(1) changed node %d", i)
+		}
+	}
+}
+
+func TestChainBeatsTreeAtHighSegmentCounts(t *testing.T) {
+	// The classic pipelining crossover: for one big message the greedy
+	// tree wins; split into many segments, the chain (full overlap)
+	// eventually wins.
+	set, err := cluster.Generate(cluster.GenConfig{N: 24, K: 2, MaxSend: 40, RatioMin: 1.05, RatioMax: 1.3, Latency: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(m int) (tree, chain int64) {
+		sp, err := SplitSet(set, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := core.ScheduleWithReversal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := baselines.Chain{}.Schedule(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeRT, err := RT(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainRT, err := RT(ch, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return treeRT, chainRT
+	}
+	t1, c1 := eval(1)
+	if t1 >= c1 {
+		t.Fatalf("at M=1 the greedy tree should beat the chain: tree %d, chain %d", t1, c1)
+	}
+	tBig, cBig := eval(64)
+	if cBig >= tBig {
+		t.Fatalf("at M=64 the chain should beat the tree: tree %d, chain %d", tBig, cBig)
+	}
+}
+
+func TestTimesValidation(t *testing.T) {
+	sch := figure1Schedule(t)
+	if _, err := Times(sch, 0); err == nil {
+		t.Error("M=0 accepted")
+	}
+	incomplete := model.NewSchedule(sch.Set)
+	incomplete.MustAddChild(0, 1)
+	if _, err := Times(incomplete, 2); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+	if _, err := SplitSet(sch.Set, 0); err == nil {
+		t.Error("SplitSet M=0 accepted")
+	}
+}
+
+func BenchmarkPipeline1k16(b *testing.B) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 1000, K: 3, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.Schedule(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Times(sch, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

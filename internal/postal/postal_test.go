@@ -1,0 +1,198 @@
+package postal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+func TestCountLambda1IsDoubling(t *testing.T) {
+	// lambda = 1: N(t) = 2^t (binomial doubling).
+	want := int64(1)
+	for x := int64(0); x <= 20; x++ {
+		got, err := Count(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("N_1(%d) = %d, want %d", x, got, want)
+		}
+		want *= 2
+	}
+}
+
+func TestCountLambda2IsFibonacci(t *testing.T) {
+	// lambda = 2: N(t) is the Fibonacci sequence 1 1 2 3 5 8 13 ...
+	want := []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for x, w := range want {
+		got, err := Count(2, int64(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("N_2(%d) = %d, want %d", x, got, w)
+		}
+	}
+}
+
+func TestCountRecurrenceGeneric(t *testing.T) {
+	for lambda := int64(1); lambda <= 6; lambda++ {
+		for x := lambda; x <= 30; x++ {
+			nt, err := Count(lambda, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := Count(lambda, x-1)
+			b, _ := Count(lambda, x-lambda)
+			if nt != a+b {
+				t.Fatalf("N_%d(%d) = %d, want N(%d)+N(%d) = %d", lambda, x, nt, x-1, x-lambda, a+b)
+			}
+		}
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	if _, err := Count(0, 3); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+	if _, err := Count(2, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	// lambda=1: time to reach n+1 total = ceil(log2(n+1)).
+	cases := []struct {
+		lambda int64
+		n      int
+		want   int64
+	}{
+		{1, 0, 0}, {1, 1, 1}, {1, 3, 2}, {1, 7, 3}, {1, 8, 4},
+		{2, 1, 2}, {2, 2, 3}, {2, 4, 4}, {2, 7, 5},
+	}
+	for _, c := range cases {
+		got, err := BroadcastTime(c.lambda, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("BroadcastTime(%d, %d) = %d, want %d", c.lambda, c.n, got, c.want)
+		}
+	}
+}
+
+func TestOptimalTreeMatchesBroadcastTime(t *testing.T) {
+	for lambda := int64(1); lambda <= 5; lambda++ {
+		for n := 0; n <= 60; n += 7 {
+			tree, err := OptimalTree(lambda, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := BroadcastTime(lambda, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tree.CompletionTime(); got != want {
+				t.Fatalf("lambda=%d n=%d: tree completion %d, recurrence %d", lambda, n, got, want)
+			}
+			// Structural sanity: every non-root has a parent; labels are
+			// information-ordered (Finish non-decreasing in label).
+			for v := 1; v <= n; v++ {
+				if tree.Parent[v] < 0 || tree.Parent[v] > n {
+					t.Fatalf("node %d has parent %d", v, tree.Parent[v])
+				}
+				if v > 1 && tree.Finish[v] < tree.Finish[v-1] {
+					t.Fatalf("labels not information-ordered: finish(%d)=%d < finish(%d)=%d",
+						v, tree.Finish[v], v-1, tree.Finish[v-1])
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalTreeLambda1IsBinomial(t *testing.T) {
+	tree, err := OptimalTree(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 total nodes, doubling: root has 3 children.
+	if len(tree.Children[0]) != 3 {
+		t.Errorf("root degree = %d, want 3", len(tree.Children[0]))
+	}
+	if tree.CompletionTime() != 3 {
+		t.Errorf("completion = %d, want 3", tree.CompletionTime())
+	}
+}
+
+func TestEffectiveLambda(t *testing.T) {
+	// Homogeneous s=1, r=1, L=1: lambda = (1+1)/1 = 2.
+	nodes := []model.Node{{Send: 1, Recv: 1}, {Send: 1, Recv: 1}, {Send: 1, Recv: 1}}
+	set := &model.MulticastSet{Latency: 1, Nodes: nodes}
+	if got := EffectiveLambda(set); got != 2 {
+		t.Errorf("EffectiveLambda = %d, want 2", got)
+	}
+	// Lambda never below 1.
+	big := &model.MulticastSet{Latency: 1, Nodes: []model.Node{{Send: 100, Recv: 1}, {Send: 100, Recv: 1}}}
+	if got := EffectiveLambda(big); got < 1 {
+		t.Errorf("EffectiveLambda = %d, want >= 1", got)
+	}
+}
+
+func TestSchedulerProducesValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		set, err := cluster.Generate(cluster.GenConfig{N: 1 + rng.Intn(50), K: 3, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := (Scheduler{}).Schedule(set)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !sch.Complete() {
+			t.Fatalf("trial %d: incomplete", trial)
+		}
+	}
+}
+
+func TestSchedulerFastNodesInformedFirst(t *testing.T) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 30, K: 2, Seed: 9, MaxSend: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := (Scheduler{}).Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := model.ComputeTimes(sch)
+	// The earliest-delivered destination must be of the fastest type
+	// present (fastest-first label mapping).
+	var first model.NodeID = -1
+	for v := 1; v < len(set.Nodes); v++ {
+		if first == -1 || tm.Delivery[v] < tm.Delivery[first] {
+			first = model.NodeID(v)
+		}
+	}
+	minSend := set.Nodes[1].Send
+	for _, n := range set.Nodes[1:] {
+		if n.Send < minSend {
+			minSend = n.Send
+		}
+	}
+	if set.Nodes[first].Send != minSend {
+		t.Errorf("first delivered node send %d, fastest is %d", set.Nodes[first].Send, minSend)
+	}
+}
+
+func BenchmarkOptimalTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalTree(3, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim executes multicast schedules on a deterministic
+// discrete-event simulator of an HNOW.
+//
+// The simulator re-derives every delivery and reception time through an
+// event queue instead of the closed-form recurrences of package model,
+// giving an independent implementation that cross-checks the analytic
+// path (experiment E8). It also accepts a perturbation hook that inflates
+// or deflates individual overhead/latency draws, enabling the robustness
+// and jitter studies of E10: the schedule tree is fixed up front (as it
+// would be in a real system) while the actual costs drift from the
+// estimates the scheduler used.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+// Op identifies which cost a perturbation call is about.
+type Op int
+
+// Perturbable operations.
+const (
+	OpSend Op = iota
+	OpRecv
+	OpLatency
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Perturb maps a base cost to the actual cost used by the simulation. node
+// is the node paying the cost (the sender for OpSend and OpLatency, the
+// receiver for OpRecv). Implementations must return a positive value.
+type Perturb func(node model.NodeID, op Op, base int64) int64
+
+// UniformJitter returns a deterministic perturbation that scales each cost
+// by a uniform factor in [1-amp, 1+amp], clamped to at least 1 time unit.
+// amp must be in [0, 1).
+func UniformJitter(seed int64, amp float64) Perturb {
+	rng := rand.New(rand.NewSource(seed))
+	return func(node model.NodeID, op Op, base int64) int64 {
+		f := 1 - amp + 2*amp*rng.Float64()
+		v := int64(float64(base) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+}
+
+// Slowdown returns a perturbation that multiplies every cost paid by the
+// given node by factor (straggler injection); other nodes are untouched.
+func Slowdown(straggler model.NodeID, factor float64) Perturb {
+	return func(node model.NodeID, op Op, base int64) int64 {
+		if node != straggler {
+			return base
+		}
+		v := int64(float64(base) * factor)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+}
+
+// Result is the outcome of a simulated schedule execution.
+type Result struct {
+	Times model.Times
+	// Events is the number of discrete events processed.
+	Events int
+}
+
+// Run executes the schedule to completion with exact (unperturbed) costs.
+// Its Times must agree exactly with model.ComputeTimes.
+func Run(sch *model.Schedule) (Result, error) {
+	return RunPerturbed(sch, nil)
+}
+
+// RunPerturbed executes the schedule with the perturbation applied to every
+// send, receive and latency cost. A nil perturb means exact costs.
+func RunPerturbed(sch *model.Schedule, perturb Perturb) (Result, error) {
+	if err := sch.Validate(); err != nil {
+		return Result{}, err
+	}
+	set := sch.Set
+	n := len(set.Nodes)
+	cost := func(node model.NodeID, op Op, base int64) (int64, error) {
+		if perturb == nil {
+			return base, nil
+		}
+		v := perturb(node, op, base)
+		if v <= 0 {
+			return 0, fmt.Errorf("sim: perturbation returned non-positive cost %d for node %d %v", v, node, op)
+		}
+		return v, nil
+	}
+
+	// Event kinds, packed into the priority-queue payload.
+	//   kind 0: node v becomes free (finished recv or a send) and may
+	//           start its next transmission.
+	//   kind 1: message delivered to node v; v starts incurring orecv.
+	const (
+		evFree = iota
+		evDeliver
+	)
+	type pending struct {
+		nextChild int
+	}
+	state := make([]pending, n)
+	tm := model.Times{Delivery: make([]int64, n), Reception: make([]int64, n)}
+	delivered := make([]bool, n)
+	delivered[0] = true
+
+	pq := pqueue.New(2 * n)
+	encode := func(kind, v int) int { return kind*n + v }
+	decode := func(x int) (kind, v int) { return x / n, x % n }
+	pq.Push(encode(evFree, 0), 0)
+
+	events := 0
+	remaining := set.N()
+	for pq.Len() > 0 {
+		it, _ := pq.Pop()
+		events++
+		kind, v := decode(it.Value)
+		now := it.Key
+		switch kind {
+		case evFree:
+			kids := sch.Children(model.NodeID(v))
+			if state[v].nextChild >= len(kids) {
+				continue // no more transmissions for v
+			}
+			child := kids[state[v].nextChild]
+			state[v].nextChild++
+			sendCost, err := cost(model.NodeID(v), OpSend, set.Nodes[v].Send)
+			if err != nil {
+				return Result{}, err
+			}
+			lat, err := cost(model.NodeID(v), OpLatency, set.Latency)
+			if err != nil {
+				return Result{}, err
+			}
+			sendDone := now + sendCost
+			pq.Push(encode(evFree, v), sendDone)
+			pq.Push(encode(evDeliver, int(child)), sendDone+lat)
+		default: // evDeliver
+			if delivered[v] {
+				return Result{}, fmt.Errorf("sim: node %d delivered twice", v)
+			}
+			delivered[v] = true
+			remaining--
+			tm.Delivery[v] = now
+			recvCost, err := cost(model.NodeID(v), OpRecv, set.Nodes[v].Recv)
+			if err != nil {
+				return Result{}, err
+			}
+			tm.Reception[v] = now + recvCost
+			if now > tm.DT {
+				tm.DT = now
+			}
+			if tm.Reception[v] > tm.RT {
+				tm.RT = tm.Reception[v]
+			}
+			pq.Push(encode(evFree, v), tm.Reception[v])
+		}
+	}
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("sim: %d destinations never delivered", remaining)
+	}
+	return Result{Times: tm, Events: events}, nil
+}
+
+// CompareAnalytic runs the simulator without perturbation and verifies the
+// result against model.ComputeTimes, returning an error describing the
+// first mismatch. Used by conformance tests and the harness.
+func CompareAnalytic(sch *model.Schedule) error {
+	res, err := Run(sch)
+	if err != nil {
+		return err
+	}
+	want := model.ComputeTimes(sch)
+	for v := range want.Delivery {
+		if res.Times.Delivery[v] != want.Delivery[v] {
+			return fmt.Errorf("sim: delivery[%d] = %d, analytic %d", v, res.Times.Delivery[v], want.Delivery[v])
+		}
+		if res.Times.Reception[v] != want.Reception[v] {
+			return fmt.Errorf("sim: reception[%d] = %d, analytic %d", v, res.Times.Reception[v], want.Reception[v])
+		}
+	}
+	if res.Times.RT != want.RT || res.Times.DT != want.DT {
+		return fmt.Errorf("sim: RT/DT (%d,%d) vs analytic (%d,%d)", res.Times.RT, res.Times.DT, want.RT, want.DT)
+	}
+	return nil
+}

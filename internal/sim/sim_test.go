@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func genSet(t *testing.T, n int, seed int64) *model.MulticastSet {
+	t.Helper()
+	set, err := cluster.Generate(cluster.GenConfig{N: n, K: 3, Seed: seed})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return set
+}
+
+func TestRunMatchesAnalyticFigure1(t *testing.T) {
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	sch.MustAddChild(0, 2)
+	sch.MustAddChild(1, 3)
+	sch.MustAddChild(1, 4)
+	res, err := Run(sch)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Times.RT != 10 {
+		t.Errorf("simulated RT = %d, want 10", res.Times.RT)
+	}
+	if err := CompareAnalytic(sch); err != nil {
+		t.Errorf("CompareAnalytic: %v", err)
+	}
+	if res.Events == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestConformanceAcrossSchedulers(t *testing.T) {
+	// The DES must agree exactly with the closed-form times for every
+	// scheduler's output across many random instances.
+	rng := rand.New(rand.NewSource(1))
+	schedulers := append([]model.Scheduler{core.Greedy{}, core.Greedy{Reversal: true}}, baselines.All(5)...)
+	for trial := 0; trial < 40; trial++ {
+		set := genSet(t, 1+rng.Intn(60), rng.Int63())
+		for _, s := range schedulers {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if err := CompareAnalytic(sch); err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, s.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRunRejectsIncompleteSchedule(t *testing.T) {
+	set := genSet(t, 3, 2)
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	if _, err := Run(sch); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestUniformJitterBoundsAndDeterminism(t *testing.T) {
+	p := UniformJitter(42, 0.25)
+	q := UniformJitter(42, 0.25)
+	for i := 0; i < 1000; i++ {
+		base := int64(100)
+		a := p(1, OpSend, base)
+		b := q(1, OpSend, base)
+		if a != b {
+			t.Fatal("jitter not deterministic per seed")
+		}
+		if a < 75 || a > 125 {
+			t.Fatalf("jitter %d outside [75, 125]", a)
+		}
+	}
+	// Tiny bases never go non-positive.
+	small := UniformJitter(7, 0.9)
+	for i := 0; i < 100; i++ {
+		if v := small(0, OpRecv, 1); v < 1 {
+			t.Fatalf("jitter produced %d for base 1", v)
+		}
+	}
+}
+
+func TestRunPerturbedJitterChangesTimes(t *testing.T) {
+	set := genSet(t, 30, 3)
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := RunPerturbed(sch, UniformJitter(9, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.Times.RT == exact.Times.RT {
+		t.Log("jittered RT equals exact RT (possible but unlikely); not failing")
+	}
+	// Jitter bounded by 30% means RT within [0.7, 1.3]x of exact, modulo
+	// critical-path reshuffling which can only keep it inside the bound.
+	lo, hi := float64(exact.Times.RT)*0.69, float64(exact.Times.RT)*1.31
+	if f := float64(jit.Times.RT); f < lo || f > hi {
+		t.Errorf("jittered RT %d outside [%f, %f]", jit.Times.RT, lo, hi)
+	}
+}
+
+func TestRunPerturbedStraggler(t *testing.T) {
+	set := genSet(t, 20, 4)
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowing down the source by 4x must delay completion.
+	slow, err := RunPerturbed(sch, Slowdown(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Times.RT <= base.Times.RT {
+		t.Errorf("straggler source did not delay completion: %d vs %d", slow.Times.RT, base.Times.RT)
+	}
+	// Slowing down a leaf only delays its own reception.
+	var leaf model.NodeID = -1
+	for v := 1; v < len(set.Nodes); v++ {
+		if sch.IsLeaf(model.NodeID(v)) {
+			leaf = model.NodeID(v)
+			break
+		}
+	}
+	if leaf == -1 {
+		t.Fatal("no leaf found")
+	}
+	ls, err := RunPerturbed(sch, Slowdown(leaf, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range set.Nodes {
+		if model.NodeID(v) == leaf {
+			continue
+		}
+		if ls.Times.Reception[v] != base.Times.Reception[v] {
+			t.Errorf("straggler leaf changed node %d reception %d -> %d", v, base.Times.Reception[v], ls.Times.Reception[v])
+		}
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	set := genSet(t, 3, 5)
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(model.NodeID, Op, int64) int64 { return 0 }
+	if _, err := RunPerturbed(sch, bad); err == nil {
+		t.Error("non-positive perturbation accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSend.String() != "send" || OpRecv.String() != "recv" || OpLatency.String() != "latency" {
+		t.Error("Op.String broken")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op should still render")
+	}
+}
+
+func BenchmarkSimulate4k(b *testing.B) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 4000, K: 3, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.Schedule(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("std = %v, want sqrt(2)", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		sorted := append([]float64(nil), xs...)
+		// Summarize sorts internally; re-sort here for Percentile.
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return Percentile(sorted, pa) <= Percentile(sorted, pb) && s.Min <= s.P50 && s.P50 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsAndGeoMean(t *testing.T) {
+	xs := Ints([]int64{2, 8})
+	if len(xs) != 2 || xs[0] != 2 || xs[1] != 8 {
+		t.Errorf("Ints = %v", xs)
+	}
+	if g := GeoMean(xs); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean should be 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive GeoMean should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value", "ratio")
+	tb.AddRow("greedy", 42, 1.0)
+	tb.AddRow("longer-name", 1000, 2.345678)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "2.346") {
+		t.Errorf("float not formatted to 3 places:\n%s", out)
+	}
+	// All rows align: same rendered width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator widths differ:\n%s", out)
+	}
+}

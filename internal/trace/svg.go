@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// SVG renders the schedule as a self-contained SVG Gantt chart: one row
+// per node, blue blocks for sending overhead, orange for receiving
+// overhead, with a time axis and reception-time labels. The output is a
+// publication-style figure counterpart to the ASCII Gantt.
+func SVG(sch *model.Schedule) string {
+	const (
+		rowH     = 26
+		rowPad   = 6
+		leftPad  = 120
+		rightPad = 70
+		topPad   = 34
+		pxWidth  = 760.0
+	)
+	tm := model.ComputeTimes(sch)
+	tl := model.Timeline(sch)
+	n := len(sch.Set.Nodes)
+	span := tm.RT
+	if span == 0 {
+		span = 1
+	}
+	scale := pxWidth / float64(span)
+	height := topPad + n*(rowH+rowPad) + 30
+	width := int(pxWidth) + leftPad + rightPad
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<style>text{font-family:monospace;font-size:12px}</style>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18">multicast schedule: RT=%d DT=%d L=%d</text>`+"\n",
+		leftPad, tm.RT, tm.DT, sch.Set.Latency)
+
+	// Time axis with up to 10 ticks.
+	tickStep := span / 10
+	if tickStep < 1 {
+		tickStep = 1
+	}
+	axisY := topPad + n*(rowH+rowPad) + 8
+	for tick := int64(0); tick <= span; tick += tickStep {
+		x := leftPad + int(float64(tick)*scale)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`+"\n", x, topPad-6, x, axisY-8)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%d</text>`+"\n", x-4, axisY+6, tick)
+	}
+
+	for v := 0; v < n; v++ {
+		y := topPad + v*(rowH+rowPad)
+		name := sch.Set.Nodes[v].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, `<text x="6" y="%d">%d %s</text>`+"\n", y+rowH-8, v, name)
+		for _, iv := range tl[v] {
+			x := leftPad + int(float64(iv.Start)*scale)
+			w := int(float64(iv.End-iv.Start) * scale)
+			if w < 1 {
+				w = 1
+			}
+			color := "#4878cf" // send
+			if iv.Kind == "recv" {
+				color = "#e8862e"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %d-%d (peer %d)</title></rect>`+"\n",
+				x, y, w, rowH-8, color, iv.Kind, iv.Start, iv.End, iv.Peer)
+		}
+		if v != 0 {
+			rx := leftPad + int(float64(tm.Reception[v])*scale)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#333">[%d]</text>`+"\n", rx+4, y+rowH-8, tm.Reception[v])
+		}
+	}
+	// Legend.
+	ly := axisY + 18
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="12" fill="#4878cf"/><text x="%d" y="%d">send overhead</text>`+"\n",
+		leftPad, ly-11, leftPad+20, ly)
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="12" fill="#e8862e"/><text x="%d" y="%d">receive overhead</text>`+"\n",
+		leftPad+150, ly-11, leftPad+170, ly)
+	b.WriteString("</svg>\n")
+	return b.String()
+}

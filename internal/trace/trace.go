@@ -1,0 +1,235 @@
+// Package trace renders and serializes multicast schedules: ASCII Gantt
+// charts for terminal inspection (the textual equivalent of the paper's
+// Figure 1), Graphviz DOT for diagrams, and a JSON codec for tooling.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule: one row per node,
+// with S blocks for sending overhead, R for receiving overhead, and dots
+// for idle time. maxWidth caps the number of time columns (the chart is
+// rescaled if the completion time exceeds it); pass 0 for the default 100.
+func Gantt(sch *model.Schedule, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 100
+	}
+	tm := model.ComputeTimes(sch)
+	tl := model.Timeline(sch)
+	span := tm.RT
+	if span == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := int64(1)
+	for span/scale > int64(maxWidth) {
+		scale++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time units per column: %d, completion RT=%d DT=%d\n", scale, tm.RT, tm.DT)
+	width := int(span/scale) + 1
+	for v, intervals := range tl {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range intervals {
+			ch := byte('S')
+			if iv.Kind == "recv" {
+				ch = 'R'
+			}
+			from, to := int(iv.Start/scale), int((iv.End-1)/scale)
+			for c := from; c <= to && c < width; c++ {
+				row[c] = ch
+			}
+		}
+		name := sch.Set.Nodes[v].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, "%3d %-8s |%s| r=%d\n", v, name, string(row), tm.Reception[v])
+	}
+	return b.String()
+}
+
+// DOT renders the schedule as a Graphviz digraph; edge labels carry the
+// child rank and delivery time.
+func DOT(sch *model.Schedule) string {
+	tm := model.ComputeTimes(sch)
+	var b strings.Builder
+	b.WriteString("digraph multicast {\n  rankdir=TB;\n  node [shape=box];\n")
+	for v := 0; v < len(sch.Set.Nodes); v++ {
+		n := sch.Set.Nodes[v]
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\\nid=%d s=%d r=%d\\nrecv@%d\"];\n", v, label, v, n.Send, n.Recv, tm.Reception[v])
+	}
+	for v := 0; v < len(sch.Set.Nodes); v++ {
+		for i, c := range sch.Children(model.NodeID(v)) {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"#%d d=%d\"];\n", v, c, i+1, tm.Delivery[c])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonSchedule is the serialized form of a schedule plus its instance.
+type jsonSchedule struct {
+	Latency int64       `json:"latency"`
+	Nodes   []jsonNode  `json:"nodes"`
+	Edges   [][2]int    `json:"edges"` // (parent, child) in global delivery-construction order
+	Meta    *jsonTiming `json:"timing,omitempty"`
+}
+
+type jsonNode struct {
+	Send int64  `json:"send"`
+	Recv int64  `json:"recv"`
+	Name string `json:"name,omitempty"`
+}
+
+type jsonTiming struct {
+	RT int64 `json:"rt"`
+	DT int64 `json:"dt"`
+}
+
+// MarshalJSON serializes a schedule with its multicast set. Edges are
+// listed so that parents always precede their children and each parent's
+// edges appear in delivery order, allowing loss-free reconstruction.
+func MarshalJSON(sch *model.Schedule) ([]byte, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	set := sch.Set
+	js := jsonSchedule{Latency: set.Latency}
+	for _, n := range set.Nodes {
+		js.Nodes = append(js.Nodes, jsonNode{Send: n.Send, Recv: n.Recv, Name: n.Name})
+	}
+	// BFS emission keeps parents before children.
+	queue := []model.NodeID{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range sch.Children(v) {
+			js.Edges = append(js.Edges, [2]int{int(v), int(c)})
+			queue = append(queue, c)
+		}
+	}
+	tm := model.ComputeTimes(sch)
+	js.Meta = &jsonTiming{RT: tm.RT, DT: tm.DT}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// UnmarshalJSON reconstructs a schedule (and its multicast set) from the
+// MarshalJSON encoding.
+func UnmarshalJSON(data []byte) (*model.Schedule, error) {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	set := &model.MulticastSet{Latency: js.Latency}
+	for _, n := range js.Nodes {
+		set.Nodes = append(set.Nodes, model.Node{Send: n.Send, Recv: n.Recv, Name: n.Name})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: embedded set invalid: %w", err)
+	}
+	sch := model.NewSchedule(set)
+	for _, e := range js.Edges {
+		if err := sch.AddChild(model.NodeID(e[0]), model.NodeID(e[1])); err != nil {
+			return nil, fmt.Errorf("trace: edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded schedule invalid: %w", err)
+	}
+	return sch, nil
+}
+
+// MarshalSetJSON serializes just a multicast set.
+func MarshalSetJSON(set *model.MulticastSet) ([]byte, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	js := jsonSchedule{Latency: set.Latency}
+	for _, n := range set.Nodes {
+		js.Nodes = append(js.Nodes, jsonNode{Send: n.Send, Recv: n.Recv, Name: n.Name})
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// UnmarshalSetJSON reads a multicast set written by MarshalSetJSON (or a
+// full schedule encoding, whose edges are then ignored).
+func UnmarshalSetJSON(data []byte) (*model.MulticastSet, error) {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	set := &model.MulticastSet{Latency: js.Latency}
+	for _, n := range js.Nodes {
+		set.Nodes = append(set.Nodes, model.Node{Send: n.Send, Recv: n.Recv, Name: n.Name})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Tree renders the schedule as an indented tree with reception times,
+// similar to the annotated trees in the paper's Figure 1.
+func Tree(sch *model.Schedule) string {
+	tm := model.ComputeTimes(sch)
+	var b strings.Builder
+	var rec func(v model.NodeID, depth int)
+	rec = func(v model.NodeID, depth int) {
+		n := sch.Set.Nodes[v]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, "%s%s (send=%d recv=%d) [%d]\n", strings.Repeat("  ", depth), name, n.Send, n.Recv, tm.Reception[v])
+		for _, c := range sch.Children(v) {
+			rec(c, depth+1)
+		}
+	}
+	rec(0, 0)
+	return b.String()
+}
+
+// CompareTable formats a per-scheduler RT comparison as an aligned table;
+// rows are sorted by completion time.
+func CompareTable(results map[string]int64) string {
+	type row struct {
+		name string
+		rt   int64
+	}
+	rows := make([]row, 0, len(results))
+	for k, v := range results {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].rt != rows[j].rt {
+			return rows[i].rt < rows[j].rt
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	w := 12
+	for _, r := range rows {
+		if len(r.name) > w {
+			w = len(r.name)
+		}
+	}
+	best := float64(rows[0].rt)
+	fmt.Fprintf(&b, "%-*s %10s %8s\n", w, "scheduler", "RT", "vs best")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s %10d %7.2fx\n", w, r.name, r.rt, float64(r.rt)/best)
+	}
+	return b.String()
+}
