@@ -1,0 +1,52 @@
+package hnow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/service"
+)
+
+// FuzzCanonicalize asserts the plan-cache canonicalization never panics
+// — even on instances the validator would reject — and that its key is
+// invariant under destination permutation and node renaming, the
+// property the hnowd cache relies on for request coalescing.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add(int64(1), []byte{4, 3, 2, 1, 2, 3}, int64(0))
+	f.Add(int64(10), []byte{1, 1}, int64(7))
+	f.Add(int64(-3), []byte{}, int64(1))
+	f.Add(int64(0), []byte{0, 0, 255, 255, 7, 9, 9, 7}, int64(2))
+	f.Fuzz(func(t *testing.T, latency int64, raw []byte, permSeed int64) {
+		// Decode byte pairs into nodes verbatim: zero and wildly
+		// uncorrelated overheads are fair game for canonicalization.
+		set := &model.MulticastSet{Latency: latency}
+		for i := 0; i+1 < len(raw) && len(set.Nodes) < 64; i += 2 {
+			set.Nodes = append(set.Nodes, model.Node{
+				Send: int64(raw[i]),
+				Recv: int64(raw[i+1]),
+				Name: "fuzz",
+			})
+		}
+		key := service.Key(set, "greedy", 0)
+
+		if len(set.Nodes) > 1 {
+			perm := set.Clone()
+			dests := perm.Nodes[1:]
+			rng := rand.New(rand.NewSource(permSeed))
+			rng.Shuffle(len(dests), func(i, j int) { dests[i], dests[j] = dests[j], dests[i] })
+			for i := range perm.Nodes {
+				perm.Nodes[i].Name = "other"
+			}
+			if got := service.Key(perm, "greedy", 0); got != key {
+				t.Fatalf("permutation changed key: %q vs %q", got, key)
+			}
+		}
+
+		// Canonicalization must be idempotent.
+		canon := service.Canonicalize(set)
+		if got := service.Key(canon, "greedy", 0); got != key {
+			t.Fatalf("canonicalization not idempotent: %q vs %q", got, key)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// End-to-end tests: a real hnowd server (httptest), driven through the
+// typed client, checked against direct library runs.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/batch"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+func startServer(t *testing.T) (*service.Server, *client.Client, string) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, client.New(ts.URL), ts.URL
+}
+
+func testSet(t *testing.T, n int, seed int64) *model.MulticastSet {
+	t.Helper()
+	set, err := cluster.Generate(cluster.GenConfig{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// expvarCounter reads one integer counter from GET /debug/vars.
+func expvarCounter(t *testing.T, baseURL, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars[name]
+	if !ok {
+		t.Fatalf("expvar %q not published (have %d vars)", name, len(vars))
+	}
+	var v int64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("expvar %q: %v", name, err)
+	}
+	return v
+}
+
+func TestEndToEndScheduleCaching(t *testing.T) {
+	_, c, baseURL := startServer(t)
+	ctx := context.Background()
+
+	algos, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range algos {
+		found = found || a == "greedy+leafrev"
+	}
+	if !found {
+		t.Fatalf("healthz does not advertise greedy+leafrev: %v", algos)
+	}
+
+	set := testSet(t, 16, 99)
+	hitsBefore := expvarCounter(t, baseURL, "hnowd.cache.hits")
+
+	first, err := c.Schedule(ctx, set, "greedy+leafrev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" {
+		t.Errorf("first request: cache = %q, want miss", first.Cache)
+	}
+
+	second, err := c.Schedule(ctx, set, "greedy+leafrev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "hit" {
+		t.Errorf("second request: cache = %q, want hit", second.Cache)
+	}
+	if string(first.Schedule) != string(second.Schedule) {
+		t.Error("repeat response schedule JSON not byte-identical")
+	}
+	if second.RT != first.RT || second.Key != first.Key {
+		t.Errorf("repeat response metadata differs: %+v vs %+v", first, second)
+	}
+
+	// The hit is visible in the expvar counters.
+	if hitsAfter := expvarCounter(t, baseURL, "hnowd.cache.hits"); hitsAfter < hitsBefore+1 {
+		t.Errorf("expvar hnowd.cache.hits = %d, want >= %d", hitsAfter, hitsBefore+1)
+	}
+
+	// A permuted instance is the same plan.
+	perm := set.Clone()
+	rng := rand.New(rand.NewSource(5))
+	dests := perm.Nodes[1:]
+	rng.Shuffle(len(dests), func(i, j int) { dests[i], dests[j] = dests[j], dests[i] })
+	third, err := c.Schedule(ctx, perm, "greedy+leafrev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cache != "hit" || third.RT != first.RT {
+		t.Errorf("permuted request: cache=%q RT=%d, want hit with RT=%d", third.Cache, third.RT, first.RT)
+	}
+}
+
+func TestEndToEndCompareAndRender(t *testing.T) {
+	_, c, _ := startServer(t)
+	ctx := context.Background()
+	set := testSet(t, 6, 3)
+
+	cr, err := c.Compare(ctx, set, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Optimal == nil {
+		t.Fatal("optimal missing on a 6-destination instance")
+	}
+	if rt, ok := cr.RT["greedy+leafrev"]; !ok || rt < *cr.Optimal {
+		t.Errorf("greedy+leafrev rt=%d ok=%v optimal=%d", rt, ok, *cr.Optimal)
+	}
+
+	setJSON, err := trace.MarshalSetJSON(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := c.Render(ctx, service.RenderRequest{Set: setJSON, Format: "svg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svg) == 0 || svg[0] != '<' {
+		t.Errorf("svg render looks wrong: %.60s", svg)
+	}
+}
+
+// TestEndToEndSweepMatchesDirectBatch starts a 120-trial sweep over every
+// polynomial scheduler through the API and checks the per-scheduler mean
+// completion times against a direct internal/batch run of the identical
+// generator — the acceptance criterion for the async job path.
+func TestEndToEndSweepMatchesDirectBatch(t *testing.T) {
+	_, c, _ := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	req := service.SweepRequest{Trials: 120, N: 12, K: 3, Seed: 77}
+	job, err := c.StartSweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != service.JobRunning {
+		t.Fatalf("accepted job status = %q, want running", job.Status)
+	}
+
+	done, err := c.WaitSweep(ctx, job.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != service.JobDone {
+		t.Fatalf("job finished as %q (error %q)", done.Status, done.Error)
+	}
+	if done.Result == nil || done.Result.Trials != req.Trials || done.Result.Errors != 0 {
+		t.Fatalf("unexpected result: %+v", done.Result)
+	}
+
+	// Direct run with the identical generator and scheduler set.
+	direct := batch.Sweep{
+		Gen: func(i int) (*model.MulticastSet, error) {
+			return cluster.Generate(cluster.GenConfig{N: req.N, K: req.K, Seed: req.Seed + int64(i)})
+		},
+		Schedulers: registry.Schedulers(req.Seed),
+		Trials:     req.Trials,
+	}
+	results, err := direct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Result.Summaries) != len(direct.Schedulers) {
+		t.Fatalf("sweep covered %d schedulers, want %d", len(done.Result.Summaries), len(direct.Schedulers))
+	}
+	for _, sc := range direct.Schedulers {
+		want := batch.Aggregate(results, sc.Name())
+		got, ok := done.Result.Summaries[sc.Name()]
+		if !ok {
+			t.Errorf("sweep result missing scheduler %q", sc.Name())
+			continue
+		}
+		if got.N != want.N || math.Abs(got.Mean-want.Mean) > 1e-9 {
+			t.Errorf("%s: sweep mean %.6f (n=%d) != direct mean %.6f (n=%d)",
+				sc.Name(), got.Mean, got.N, want.Mean, want.N)
+		}
+	}
+}

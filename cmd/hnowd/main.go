@@ -1,0 +1,71 @@
+// Command hnowd serves multicast scheduling over HTTP: a canonicalized
+// plan cache in front of every algorithm in the registry, comparison and
+// rendering endpoints, and asynchronous parameter-sweep jobs.
+//
+// Usage:
+//
+//	hnowd -addr :8080 -cache 4096 -workers 8
+//
+// Endpoints:
+//
+//	POST /v1/schedule     compute (or fetch) one plan
+//	POST /v1/compare      every scheduler on one instance
+//	POST /v1/render       tree/gantt/dot/svg/json rendering
+//	POST /v1/sweeps       start an async parameter sweep
+//	GET  /v1/sweeps/{id}  poll a sweep job
+//	GET  /healthz         liveness + algorithm list
+//	GET  /debug/vars      expvar counters (cache hits/misses/evictions)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "plan cache capacity in entries")
+	cacheShards := flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
+	workers := flag.Int("workers", 0, "default sweep worker-pool size (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 64, "maximum retained sweep jobs")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		Workers:     *workers,
+		MaxJobs:     *maxJobs,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("hnowd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		svc.Close()
+	}()
+
+	log.Printf("hnowd: listening on %s (cache=%d entries, %d shards)", *addr, *cacheSize, *cacheShards)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("hnowd: %v", err)
+	}
+	<-shutdownDone // drain in-flight requests and sweep goroutines before exiting
+}

@@ -17,13 +17,10 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/baselines"
 	"repro/internal/bounds"
-	"repro/internal/core"
 	"repro/internal/exact"
-	"repro/internal/heur"
 	"repro/internal/model"
-	"repro/internal/postal"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -46,7 +43,7 @@ func main() {
 
 	if *algo == "all" {
 		results := map[string]int64{}
-		for _, s := range schedulers(*seed) {
+		for _, s := range registry.Schedulers(*seed) {
 			sch, err := s.Schedule(set)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hnowsched: %s: %v\n", s.Name(), err)
@@ -63,7 +60,7 @@ func main() {
 		return
 	}
 
-	s, err := lookup(*algo, *seed)
+	s, err := registry.Lookup(*algo, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -92,29 +89,6 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown format %q", *format))
 	}
-}
-
-func schedulers(seed int64) []model.Scheduler {
-	out := append([]model.Scheduler{core.Greedy{}, core.Greedy{Reversal: true}}, baselines.All(seed)...)
-	return append(out,
-		postal.Scheduler{},
-		heur.SlowestFirst{},
-		heur.LocalSearch{},
-		heur.Annealing{Seed: seed},
-		heur.BeamSearch{},
-	)
-}
-
-func lookup(name string, seed int64) (model.Scheduler, error) {
-	if name == "optimal" || name == "dp-optimal" {
-		return exact.Solver{}, nil
-	}
-	for _, s := range schedulers(seed) {
-		if s.Name() == name {
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func readInput(path string) ([]byte, error) {

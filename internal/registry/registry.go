@@ -1,0 +1,109 @@
+// Package registry is the single catalog of scheduling algorithms by
+// name. The hnowsched CLI and the hnowd service both resolve algorithm
+// names here, so the two surfaces can never drift apart: an algorithm
+// added to the registry is immediately reachable from both.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/heur"
+	"repro/internal/model"
+	"repro/internal/postal"
+)
+
+// OptimalName is the registry name of the exact DP scheduler. It is kept
+// out of Schedulers because its O(n^(2k)) cost makes it unsuitable for
+// blanket comparison sweeps; Lookup still resolves it (and the legacy
+// alias "dp-optimal").
+const OptimalName = "optimal"
+
+// Schedulers returns every polynomial-time scheduler: the paper's greedy
+// (with and without leaf reversal), the prior-art baselines, the postal
+// tree, and the heuristic explorations. seed drives the randomized
+// schedulers (random tree, annealing). The returned slice is freshly
+// allocated and safe to mutate.
+func Schedulers(seed int64) []model.Scheduler {
+	out := append([]model.Scheduler{core.Greedy{}, core.Greedy{Reversal: true}}, baselines.All(seed)...)
+	return append(out,
+		postal.Scheduler{},
+		heur.SlowestFirst{},
+		heur.LocalSearch{},
+		heur.Annealing{Seed: seed},
+		heur.BeamSearch{},
+	)
+}
+
+// Lookup resolves an algorithm name to a scheduler. "optimal" and its
+// alias "dp-optimal" resolve to the exact DP; every other name must match
+// a Schedulers entry.
+func Lookup(name string, seed int64) (model.Scheduler, error) {
+	if name == OptimalName || name == "dp-optimal" {
+		return exact.Solver{}, nil
+	}
+	for _, s := range Schedulers(seed) {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("registry: unknown algorithm %q (known: %v)", name, Names())
+}
+
+// Seeded reports whether the named algorithm's output may depend on the
+// seed. Callers that key caches on (algorithm, seed) can drop the seed
+// for every algorithm reported as deterministic. The check is by
+// scheduler type, not name, and fails safe: an unknown or newly added
+// scheduler is treated as seeded (costing only extra cache misses)
+// until it is listed among the deterministic types here.
+func Seeded(name string) bool {
+	s, err := Lookup(name, 0)
+	if err != nil {
+		return true
+	}
+	switch s.(type) {
+	case core.Greedy, exact.Solver,
+		baselines.Star, baselines.Chain, baselines.Binomial, baselines.FNF,
+		postal.Scheduler,
+		heur.SlowestFirst, heur.LocalSearch, heur.BeamSearch:
+		return false
+	}
+	return true
+}
+
+// Names returns every resolvable algorithm name in sorted order,
+// including "optimal".
+func Names() []string {
+	names := []string{OptimalName}
+	for _, s := range Schedulers(0) {
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Select resolves a list of names to schedulers. An empty list selects
+// all polynomial-time schedulers (the Schedulers set). Duplicate names
+// are an error, as are unknown ones.
+func Select(names []string, seed int64) ([]model.Scheduler, error) {
+	if len(names) == 0 {
+		return Schedulers(seed), nil
+	}
+	seen := map[string]bool{}
+	out := make([]model.Scheduler, 0, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("registry: duplicate algorithm %q", name)
+		}
+		seen[name] = true
+		s, err := Lookup(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesAllResolve(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("suspiciously few algorithms registered: %v", names)
+	}
+	for _, name := range names {
+		s, err := Lookup(name, 7)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if name != OptimalName && s.Name() != name {
+			t.Errorf("Lookup(%q) returned scheduler named %q", name, s.Name())
+		}
+	}
+}
+
+func TestLookupAliases(t *testing.T) {
+	for _, alias := range []string{"optimal", "dp-optimal"} {
+		if _, err := Lookup(alias, 0); err != nil {
+			t.Errorf("Lookup(%q): %v", alias, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-algo", 0)
+	if err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if !strings.Contains(err.Error(), "no-such-algo") {
+		t.Errorf("error should name the unknown algorithm: %v", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil, 1)
+	if err != nil {
+		t.Fatalf("Select(nil): %v", err)
+	}
+	if len(all) != len(Schedulers(1)) {
+		t.Errorf("Select(nil) returned %d schedulers, want %d", len(all), len(Schedulers(1)))
+	}
+
+	got, err := Select([]string{"greedy", "star"}, 1)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(got) != 2 || got[0].Name() != "greedy" || got[1].Name() != "star" {
+		t.Errorf("Select order not preserved: %v", got)
+	}
+
+	if _, err := Select([]string{"greedy", "greedy"}, 1); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+	if _, err := Select([]string{"bogus"}, 1); err == nil {
+		t.Error("expected unknown-name error")
+	}
+}
+
+func TestSeeded(t *testing.T) {
+	for _, name := range []string{"random", "annealing"} {
+		if !Seeded(name) {
+			t.Errorf("Seeded(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"greedy", "greedy+leafrev", "optimal", "star", "beam-search"} {
+		if Seeded(name) {
+			t.Errorf("Seeded(%q) = true, want false", name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package service implements hnowd, an HTTP scheduling service for HNOW
+// multicast: a canonicalized plan cache in front of the library's
+// schedulers, a JSON API over net/http, and asynchronous parameter-sweep
+// jobs executed on the batch worker pool. It is the service form of the
+// paper's closing remark (Theorem 2) that a fixed network admits
+// precomputed schedule tables: rather than materializing the full table
+// up front, the service memoizes every plan it computes under a
+// permutation-invariant key, so repeated and equivalent requests are
+// served from memory.
+package service
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Canonicalize maps a multicast set to its canonical representative:
+// node names are stripped (they never affect scheduling) and the
+// destinations are sorted by (send, recv) overhead, the paper's p1..pn
+// indexing. Two sets that differ only by a permutation of destinations or
+// by naming canonicalize to the same instance. The input is not mutated;
+// the result shares no memory with it. A nil or empty set is returned as
+// an empty canonical set rather than panicking, so callers may
+// canonicalize before validating.
+func Canonicalize(set *model.MulticastSet) *model.MulticastSet {
+	if set == nil || len(set.Nodes) == 0 {
+		return &model.MulticastSet{}
+	}
+	out := &model.MulticastSet{Latency: set.Latency, Nodes: make([]model.Node, len(set.Nodes))}
+	out.Nodes[0] = model.Node{Send: set.Nodes[0].Send, Recv: set.Nodes[0].Recv}
+	for i, n := range set.Nodes[1:] {
+		out.Nodes[i+1] = model.Node{Send: n.Send, Recv: n.Recv}
+	}
+	dests := out.Nodes[1:]
+	sort.Slice(dests, func(a, b int) bool {
+		if dests[a].Send != dests[b].Send {
+			return dests[a].Send < dests[b].Send
+		}
+		return dests[a].Recv < dests[b].Recv
+	})
+	return out
+}
+
+// Key returns the canonical plan-cache key for scheduling the set with
+// the named algorithm. The key is a pure function of the canonical
+// instance plus (algo, seed), so permutation-equivalent requests collide
+// by construction. seed is part of the key because the randomized
+// schedulers (random tree, annealing) are parameterized by it.
+func Key(set *model.MulticastSet, algo string, seed int64) string {
+	return KeyCanonical(Canonicalize(set), algo, seed)
+}
+
+// KeyCanonical is Key for a set already in canonical form; it avoids a
+// second canonicalization on paths that need both the canonical instance
+// and its key.
+func KeyCanonical(canon *model.MulticastSet, algo string, seed int64) string {
+	var b strings.Builder
+	b.Grow(32 + 16*len(canon.Nodes))
+	b.WriteString(algo)
+	b.WriteString("|s=")
+	b.WriteString(strconv.FormatInt(seed, 10))
+	b.WriteString("|L=")
+	b.WriteString(strconv.FormatInt(canon.Latency, 10))
+	for i, n := range canon.Nodes {
+		if i == 0 {
+			b.WriteString("|src=")
+		} else {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatInt(n.Send, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(n.Recv, 10))
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// permuted returns a copy of set with its destinations shuffled and
+// renamed, the kind of request that must share a cache entry with the
+// original.
+func permuted(set *model.MulticastSet, seed int64) *model.MulticastSet {
+	out := set.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	dests := out.Nodes[1:]
+	rng.Shuffle(len(dests), func(i, j int) { dests[i], dests[j] = dests[j], dests[i] })
+	for i := range out.Nodes {
+		out.Nodes[i].Name = "renamed"
+	}
+	return out
+}
+
+func genSet(t testing.TB, n int, seed int64) *model.MulticastSet {
+	t.Helper()
+	set, err := cluster.Generate(cluster.GenConfig{N: n, Seed: seed})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return set
+}
+
+func TestCanonicalizePermutationInvariant(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		set := genSet(t, 12, seed)
+		base := Key(set, "greedy", 0)
+		for p := int64(1); p <= 5; p++ {
+			perm := permuted(set, p)
+			if got := Key(perm, "greedy", 0); got != base {
+				t.Fatalf("seed %d perm %d: key %q != %q", seed, p, got, base)
+			}
+		}
+	}
+}
+
+func TestCanonicalizeSameRT(t *testing.T) {
+	set := genSet(t, 16, 42)
+	perm := permuted(set, 9)
+	schA, err := core.Schedule(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schB, err := core.Schedule(Canonicalize(perm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.RT(schA) != model.RT(schB) {
+		t.Fatalf("canonical RT differs: %d vs %d", model.RT(schA), model.RT(schB))
+	}
+}
+
+func TestCanonicalizeDoesNotMutate(t *testing.T) {
+	set := genSet(t, 8, 3)
+	before := set.Clone()
+	Canonicalize(set)
+	for i := range set.Nodes {
+		if set.Nodes[i] != before.Nodes[i] {
+			t.Fatalf("Canonicalize mutated input node %d", i)
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	set := genSet(t, 10, 5)
+	c1 := Canonicalize(set)
+	c2 := Canonicalize(c1)
+	if KeyCanonical(c1, "a", 0) != KeyCanonical(c2, "a", 0) {
+		t.Fatal("canonicalization is not idempotent")
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	set := genSet(t, 8, 1)
+	base := Key(set, "greedy", 0)
+	if Key(set, "star", 0) == base {
+		t.Error("different algorithms must not collide")
+	}
+	if Key(set, "greedy", 1) == base {
+		t.Error("different seeds must not collide")
+	}
+	other := set.Clone()
+	other.Latency++
+	if Key(other, "greedy", 0) == base {
+		t.Error("different latencies must not collide")
+	}
+	third := set.Clone()
+	third.Nodes[1].Send++
+	if Key(third, "greedy", 0) == base {
+		t.Error("different overheads must not collide")
+	}
+}
+
+func TestCanonicalizeDegenerate(t *testing.T) {
+	// Never panic, even on sets that would fail validation.
+	for _, set := range []*model.MulticastSet{
+		nil,
+		{},
+		{Latency: -5, Nodes: []model.Node{{Send: -1, Recv: 0}}},
+		{Latency: 1, Nodes: []model.Node{{Send: 1, Recv: 1}}},
+	} {
+		c := Canonicalize(set)
+		_ = KeyCanonical(c, "greedy", 0)
+	}
+}

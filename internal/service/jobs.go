@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stats"
+)
+
+var (
+	expSweepsStarted  = expvar.NewInt("hnowd.sweeps.started")
+	expSweepsFinished = expvar.NewInt("hnowd.sweeps.finished")
+)
+
+// SweepRequest describes an asynchronous parameter sweep: Trials random
+// instances drawn from the cluster generator and evaluated by the chosen
+// schedulers on the batch worker pool. Instance i uses generator seed
+// Seed+i, so a sweep is a pure function of its request and can be
+// reproduced exactly by a direct batch run.
+type SweepRequest struct {
+	// Trials is the number of instances (required, > 0).
+	Trials int `json:"trials"`
+	// N is the number of destinations per instance (default 16).
+	N int `json:"n"`
+	// K is the number of distinct workstation types (default 3).
+	K int `json:"k"`
+	// Seed is the base generator seed; instance i uses Seed+i.
+	Seed int64 `json:"seed"`
+	// RatioMin and RatioMax bound receive-send ratios (defaults 1.05, 1.85).
+	RatioMin float64 `json:"ratio_min,omitempty"`
+	RatioMax float64 `json:"ratio_max,omitempty"`
+	// MaxSend bounds sending overheads (default 64).
+	MaxSend int64 `json:"max_send,omitempty"`
+	// Latency is the network latency (default 10).
+	Latency int64 `json:"latency,omitempty"`
+	// Schedulers selects algorithms by registry name; empty means every
+	// polynomial-time scheduler.
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Workers caps the batch worker pool; 0 uses the server default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepResult aggregates a finished sweep.
+type SweepResult struct {
+	// Trials is the number of instances evaluated.
+	Trials int `json:"trials"`
+	// Errors counts failed trials (generation or scheduling errors).
+	Errors int `json:"errors"`
+	// FirstError is the first trial error, if any.
+	FirstError string `json:"first_error,omitempty"`
+	// Summaries maps scheduler name to its completion-time summary over
+	// the successful trials.
+	Summaries map[string]stats.Summary `json:"summaries"`
+	// Wins maps scheduler name to the number of trials it (weakly) won.
+	Wins map[string]int `json:"wins"`
+}
+
+// JobStatus is the lifecycle state of a sweep job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is the public view of a sweep job, as returned by the sweeps API.
+type Job struct {
+	ID       string       `json:"id"`
+	Status   JobStatus    `json:"status"`
+	Request  SweepRequest `json:"request"`
+	Created  time.Time    `json:"created"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	// Result is set once Status is "done".
+	Result *SweepResult `json:"result,omitempty"`
+	// Error is set once Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// jobStore owns the sweep jobs: a bounded map of job state plus the
+// goroutines executing them. Finished jobs are retained for polling and
+// evicted oldest-first once the store exceeds its bound; jobs still
+// running are never evicted (starting a new job fails instead).
+type jobStore struct {
+	ctx            context.Context
+	maxJobs        int
+	defaultWorkers int
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	order  []string // insertion order, for bounded eviction
+	nextID int
+
+	wg sync.WaitGroup
+}
+
+type jobState struct {
+	job Job // guarded by the store mutex
+}
+
+func newJobStore(ctx context.Context, maxJobs, defaultWorkers int) *jobStore {
+	if maxJobs < 1 {
+		maxJobs = 64
+	}
+	return &jobStore{ctx: ctx, maxJobs: maxJobs, defaultWorkers: defaultWorkers, jobs: map[string]*jobState{}}
+}
+
+func (req *SweepRequest) fill() {
+	if req.N == 0 {
+		req.N = 16
+	}
+	if req.K == 0 {
+		req.K = 3
+	}
+}
+
+// start validates the request, registers a running job and launches its
+// sweep goroutine. It fails if the request is invalid or the store is
+// full of still-running jobs.
+func (js *jobStore) start(req SweepRequest) (Job, error) {
+	req.fill()
+	if req.Trials <= 0 {
+		return Job{}, fmt.Errorf("trials must be positive, got %d", req.Trials)
+	}
+	schedulers, err := registry.Select(req.Schedulers, req.Seed)
+	if err != nil {
+		return Job{}, err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = js.defaultWorkers
+	}
+
+	js.mu.Lock()
+	if len(js.jobs) >= js.maxJobs && !js.evictFinishedLocked() {
+		js.mu.Unlock()
+		return Job{}, fmt.Errorf("job store full: %d jobs running", js.maxJobs)
+	}
+	js.nextID++
+	id := fmt.Sprintf("sweep-%d", js.nextID)
+	st := &jobState{job: Job{ID: id, Status: JobRunning, Request: req, Created: time.Now().UTC()}}
+	js.jobs[id] = st
+	js.order = append(js.order, id)
+	job := st.job
+	js.mu.Unlock()
+
+	expSweepsStarted.Add(1)
+	js.wg.Add(1)
+	go js.run(st, req, schedulers, workers)
+	return job, nil
+}
+
+// evictFinishedLocked removes the oldest finished job; it reports whether
+// room was made.
+func (js *jobStore) evictFinishedLocked() bool {
+	for i, id := range js.order {
+		if st := js.jobs[id]; st.job.Status != JobRunning {
+			delete(js.jobs, id)
+			js.order = append(js.order[:i], js.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (js *jobStore) run(st *jobState, req SweepRequest, schedulers []model.Scheduler, workers int) {
+	defer js.wg.Done()
+	defer expSweepsFinished.Add(1)
+	sweep := batch.Sweep{
+		Gen: func(i int) (*model.MulticastSet, error) {
+			// Abort pending trials promptly on server shutdown.
+			if err := js.ctx.Err(); err != nil {
+				return nil, err
+			}
+			return cluster.Generate(cluster.GenConfig{
+				N: req.N, K: req.K, Seed: req.Seed + int64(i),
+				RatioMin: req.RatioMin, RatioMax: req.RatioMax,
+				MaxSend: req.MaxSend, Latency: req.Latency,
+			})
+		},
+		Schedulers: schedulers,
+		Trials:     req.Trials,
+		Workers:    workers,
+	}
+	results, err := sweep.Run()
+	now := time.Now().UTC()
+
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	st.job.Finished = &now
+	if err == nil {
+		err = js.ctx.Err() // shutdown mid-sweep fails the job rather than reporting partial data
+	}
+	if err != nil {
+		st.job.Status = JobFailed
+		st.job.Error = err.Error()
+		return
+	}
+	res := &SweepResult{
+		Trials:    len(results),
+		Summaries: make(map[string]stats.Summary, len(schedulers)),
+		Wins:      batch.WinCounts(results),
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			res.Errors++
+		}
+	}
+	if first := batch.FirstError(results); first != nil {
+		res.FirstError = first.Error()
+	}
+	for _, sc := range schedulers {
+		res.Summaries[sc.Name()] = batch.Aggregate(results, sc.Name())
+	}
+	st.job.Status = JobDone
+	st.job.Result = res
+}
+
+// get returns a snapshot of the job.
+func (js *jobStore) get(id string) (Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	st, ok := js.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return st.job, true
+}
+
+// list returns snapshots of every retained job in creation order.
+func (js *jobStore) list() []Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]Job, 0, len(js.order))
+	for _, id := range js.order {
+		out = append(out, js.jobs[id].job)
+	}
+	return out
+}
+
+// wait blocks until every job goroutine has exited.
+func (js *jobStore) wait() { js.wg.Wait() }

@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"repro/internal/bounds"
+	"repro/internal/exact"
+	"repro/internal/lower"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+var expRequests = expvar.NewInt("hnowd.requests")
+
+// Config tunes a Server. Zero values select sensible defaults.
+type Config struct {
+	// CacheSize is the plan-cache capacity in entries (default 4096).
+	CacheSize int
+	// CacheShards is the number of cache shards (default 16, rounded up
+	// to a power of two).
+	CacheShards int
+	// Workers is the default batch worker-pool size for sweeps; 0 lets
+	// the pool size itself to GOMAXPROCS.
+	Workers int
+	// MaxJobs bounds the sweep job store (default 64).
+	MaxJobs int
+}
+
+// Server is the hnowd scheduling service: a plan cache over the
+// algorithm registry, plus asynchronous sweep jobs. Create with New,
+// mount Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	cache  *Cache
+	jobs   *jobStore
+	mux    *http.ServeMux
+	cancel context.CancelFunc
+}
+
+// New builds a Server. The jobs it launches stop when Close is called.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cache:  NewCache(cfg.CacheSize, cfg.CacheShards),
+		jobs:   newJobStore(ctx, cfg.MaxJobs, cfg.Workers),
+		mux:    http.NewServeMux(),
+		cancel: cancel,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("POST /v1/render", s.handleRender)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepStart)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		expRequests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// CacheStats snapshots the plan-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Close cancels outstanding sweep jobs and waits for their goroutines to
+// exit. The Handler stays usable (jobs started after Close fail fast).
+func (s *Server) Close() {
+	s.cancel()
+	s.jobs.wait()
+}
+
+// ScheduleRequest asks for one schedule. Set is the instance in the
+// trace codec's set encoding: {"latency": L, "nodes": [{"send","recv"}...]}
+// with nodes[0] the source.
+type ScheduleRequest struct {
+	// Algo is a registry algorithm name (default "greedy+leafrev").
+	Algo string `json:"algo,omitempty"`
+	// Seed drives the randomized schedulers; ignored (and excluded from
+	// the cache key) for deterministic ones.
+	Seed int64           `json:"seed,omitempty"`
+	Set  json.RawMessage `json:"set"`
+}
+
+// Theorem1 reports the paper's Theorem 1 constants for the instance.
+type Theorem1 struct {
+	AlphaMin float64 `json:"alpha_min"`
+	AlphaMax float64 `json:"alpha_max"`
+	Beta     int64   `json:"beta"`
+	C        float64 `json:"c"`
+}
+
+// ScheduleResponse is the reply to POST /v1/schedule.
+type ScheduleResponse struct {
+	Algo string `json:"algo"`
+	// Key is the canonical plan-cache key the request resolved to.
+	Key string `json:"key"`
+	// Cache is "hit" or "miss".
+	Cache string `json:"cache"`
+	RT    int64  `json:"rt"`
+	DT    int64  `json:"dt"`
+	// LowerBound is the strongest provable lower bound on the optimal RT.
+	LowerBound int64    `json:"lower_bound"`
+	Theorem1   Theorem1 `json:"theorem1"`
+	// Schedule is the plan in the trace codec's schedule encoding, on the
+	// canonical (destination-sorted, unnamed) instance.
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+// CompareRequest asks for every polynomial scheduler on one instance.
+type CompareRequest struct {
+	Seed int64           `json:"seed,omitempty"`
+	Set  json.RawMessage `json:"set"`
+	// Optimal also attempts the exact DP (bounded by its state-space
+	// guard; silently omitted if infeasible).
+	Optimal bool `json:"optimal,omitempty"`
+}
+
+// CompareResponse is the reply to POST /v1/compare.
+type CompareResponse struct {
+	// RT maps scheduler name to reception completion time.
+	RT map[string]int64 `json:"rt"`
+	// Optimal is the exact DP completion time, when requested and feasible.
+	Optimal    *int64   `json:"optimal,omitempty"`
+	LowerBound int64    `json:"lower_bound"`
+	Theorem1   Theorem1 `json:"theorem1"`
+}
+
+// RenderRequest asks for a rendered schedule.
+type RenderRequest struct {
+	Algo string          `json:"algo,omitempty"`
+	Seed int64           `json:"seed,omitempty"`
+	Set  json.RawMessage `json:"set"`
+	// Format is one of tree, gantt, dot, svg, json (default tree).
+	Format string `json:"format,omitempty"`
+	// Width caps gantt columns (default 100).
+	Width int `json:"width,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "algorithms": registry.Names()})
+}
+
+// decodeSet parses and validates the embedded instance of a request.
+func decodeSet(raw json.RawMessage) (*model.MulticastSet, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing \"set\"")
+	}
+	return trace.UnmarshalSetJSON(raw)
+}
+
+// plan resolves (set, algo, seed) through the plan cache, computing and
+// inserting on a miss. The set must already be validated. The returned
+// Plan is shared and must not be mutated.
+func (s *Server) plan(set *model.MulticastSet, algo string, seed int64) (*Plan, string, bool, error) {
+	return s.planCanonical(Canonicalize(set), algo, seed)
+}
+
+// planCanonical is plan for a set already in canonical form; handlers
+// that resolve several algorithms on one instance canonicalize once.
+func (s *Server) planCanonical(canon *model.MulticastSet, algo string, seed int64) (*Plan, string, bool, error) {
+	if !registry.Seeded(algo) {
+		seed = 0 // deterministic algorithms share one cache entry across seeds
+	}
+	key := KeyCanonical(canon, algo, seed)
+	if p, ok := s.cache.Get(key); ok {
+		return p, key, true, nil
+	}
+	sched, err := registry.Lookup(algo, seed)
+	if err != nil {
+		return nil, key, false, err
+	}
+	sch, err := sched.Schedule(canon)
+	if err != nil {
+		return nil, key, false, err
+	}
+	js, err := trace.MarshalJSON(sch)
+	if err != nil {
+		return nil, key, false, err
+	}
+	tm := model.ComputeTimes(sch)
+	bp := bounds.ParamsOf(canon)
+	p := &Plan{
+		Algo:         algo,
+		ScheduleJSON: js,
+		RT:           tm.RT,
+		DT:           tm.DT,
+		LowerBound:   lower.Best(canon),
+		Bound:        bp,
+	}
+	s.cache.Put(key, p)
+	return p, key, false, nil
+}
+
+func theorem1(p bounds.Params) Theorem1 {
+	return Theorem1{AlphaMin: p.AlphaMin, AlphaMax: p.AlphaMax, Beta: p.Beta, C: p.C}
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := decodeSet(req.Set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Algo == "" {
+		req.Algo = "greedy+leafrev"
+	}
+	p, key, hit, err := s.plan(set, req.Algo, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{
+		Algo:       p.Algo,
+		Key:        key,
+		Cache:      cacheLabel(hit),
+		RT:         p.RT,
+		DT:         p.DT,
+		LowerBound: p.LowerBound,
+		Theorem1:   theorem1(p.Bound),
+		Schedule:   p.ScheduleJSON,
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := decodeSet(req.Set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon := Canonicalize(set)
+	resp := CompareResponse{RT: map[string]int64{}}
+	for _, sched := range registry.Schedulers(req.Seed) {
+		p, _, _, err := s.planCanonical(canon, sched.Name(), req.Seed)
+		if err != nil {
+			continue // a scheduler that cannot handle the instance is simply absent
+		}
+		resp.RT[sched.Name()] = p.RT
+	}
+	if len(resp.RT) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("no scheduler produced a plan"))
+		return
+	}
+	if req.Optimal {
+		if opt, err := exact.OptimalRT(canon); err == nil {
+			resp.Optimal = &opt
+		}
+	}
+	resp.LowerBound = lower.Best(canon)
+	resp.Theorem1 = theorem1(bounds.ParamsOf(canon))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	var req RenderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := decodeSet(req.Set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Algo == "" {
+		req.Algo = "greedy+leafrev"
+	}
+	p, _, _, err := s.plan(set, req.Algo, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.Format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(p.ScheduleJSON)
+		return
+	}
+	sch, err := trace.UnmarshalJSON(p.ScheduleJSON)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var body, contentType string
+	switch req.Format {
+	case "tree", "":
+		body, contentType = trace.Tree(sch), "text/plain; charset=utf-8"
+	case "gantt":
+		body, contentType = trace.Gantt(sch, req.Width), "text/plain; charset=utf-8"
+	case "dot":
+		body, contentType = trace.DOT(sch), "text/vnd.graphviz"
+	case "svg":
+		body, contentType = trace.SVG(sch), "image/svg+xml"
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want tree, gantt, dot, svg or json)", req.Format))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	fmt.Fprint(w, body)
+}
+
+func (s *Server) handleSweepStart(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.jobs.start(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": s.jobs.list()})
+}

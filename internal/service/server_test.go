@@ -1,0 +1,373 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func rawSet(t *testing.T, set *model.MulticastSet) json.RawMessage {
+	t.Helper()
+	data, err := trace.MarshalSetJSON(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestScheduleCacheHitOnPermutedInstance(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	set := genSet(t, 12, 7)
+
+	resp, body := post(t, ts.URL+"/v1/schedule", ScheduleRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var first ScheduleResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" {
+		t.Errorf("first request should miss, got %q", first.Cache)
+	}
+
+	// A destination-permuted, renamed instance must hit the same entry.
+	_, body = post(t, ts.URL+"/v1/schedule", ScheduleRequest{Set: rawSet(t, permuted(set, 3))})
+	var second ScheduleResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "hit" {
+		t.Errorf("permuted request should hit, got %q", second.Cache)
+	}
+	if second.Key != first.Key {
+		t.Errorf("keys differ: %q vs %q", second.Key, first.Key)
+	}
+	if second.RT != first.RT {
+		t.Errorf("RT differs across permutation: %d vs %d", second.RT, first.RT)
+	}
+	if !bytes.Equal(first.Schedule, second.Schedule) {
+		t.Error("cached schedule JSON is not byte-identical")
+	}
+	if st := svc.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 hit and 1 miss", st)
+	}
+
+	// The lower bound must actually bound the reported completion time.
+	if first.LowerBound <= 0 || first.LowerBound > first.RT {
+		t.Errorf("lower bound %d inconsistent with RT %d", first.LowerBound, first.RT)
+	}
+	// The schedule must decode to a valid plan achieving the reported RT.
+	sch, err := trace.UnmarshalJSON(first.Schedule)
+	if err != nil {
+		t.Fatalf("returned schedule does not decode: %v", err)
+	}
+	if got := model.RT(sch); got != first.RT {
+		t.Errorf("decoded schedule RT %d != reported %d", got, first.RT)
+	}
+}
+
+func TestScheduleSeedIgnoredForDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := genSet(t, 8, 1)
+	_, body := post(t, ts.URL+"/v1/schedule", ScheduleRequest{Algo: "greedy", Seed: 1, Set: rawSet(t, set)})
+	var a ScheduleResponse
+	json.Unmarshal(body, &a)
+	_, body = post(t, ts.URL+"/v1/schedule", ScheduleRequest{Algo: "greedy", Seed: 2, Set: rawSet(t, set)})
+	var b ScheduleResponse
+	json.Unmarshal(body, &b)
+	if b.Cache != "hit" {
+		t.Errorf("greedy with a different seed should share the cache entry, got %q", b.Cache)
+	}
+
+	// Seeded algorithms keep distinct entries per seed.
+	_, body = post(t, ts.URL+"/v1/schedule", ScheduleRequest{Algo: "random", Seed: 1, Set: rawSet(t, set)})
+	var c ScheduleResponse
+	json.Unmarshal(body, &c)
+	_, body = post(t, ts.URL+"/v1/schedule", ScheduleRequest{Algo: "random", Seed: 2, Set: rawSet(t, set)})
+	var d ScheduleResponse
+	json.Unmarshal(body, &d)
+	if d.Cache != "miss" {
+		t.Errorf("random with a new seed should miss, got %q", d.Cache)
+	}
+	_ = c
+}
+
+func TestScheduleErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := genSet(t, 4, 1)
+
+	resp, _ := post(t, ts.URL+"/v1/schedule", ScheduleRequest{Algo: "no-such", Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown algo: HTTP %d, want 422", resp.StatusCode)
+	}
+
+	resp, _ = post(t, ts.URL+"/v1/schedule", ScheduleRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing set: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	r, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", r.StatusCode)
+	}
+
+	// Invalid instance (uncorrelated overheads) must be rejected.
+	bad := &model.MulticastSet{Latency: 1, Nodes: []model.Node{
+		{Send: 1, Recv: 1}, {Send: 2, Recv: 9}, {Send: 3, Recv: 2},
+	}}
+	data, _ := json.Marshal(map[string]any{"latency": bad.Latency, "nodes": []map[string]int64{
+		{"send": 1, "recv": 1}, {"send": 2, "recv": 9}, {"send": 3, "recv": 2},
+	}})
+	resp2, err := http.Post(ts.URL+"/v1/schedule", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"set": %s}`, data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid instance: HTTP %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := genSet(t, 6, 11)
+	resp, body := post(t, ts.URL+"/v1/compare", CompareRequest{Set: rawSet(t, set), Optimal: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var cr CompareResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"greedy", "greedy+leafrev", "star", "chain", "binomial"} {
+		if _, ok := cr.RT[name]; !ok {
+			t.Errorf("compare result missing %q (have %v)", name, cr.RT)
+		}
+	}
+	if cr.Optimal == nil {
+		t.Fatal("optimal requested on a tiny instance but not returned")
+	}
+	for name, rt := range cr.RT {
+		if rt < *cr.Optimal {
+			t.Errorf("%s RT %d beats the optimal %d", name, rt, *cr.Optimal)
+		}
+	}
+	if cr.LowerBound > *cr.Optimal {
+		t.Errorf("lower bound %d exceeds optimal %d", cr.LowerBound, *cr.Optimal)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := genSet(t, 6, 2)
+	for format, want := range map[string]string{
+		"tree":  "send=",
+		"gantt": "time units per column",
+		"dot":   "digraph multicast",
+		"svg":   "<svg",
+		"json":  `"edges"`,
+	} {
+		resp, body := post(t, ts.URL+"/v1/render", RenderRequest{Set: rawSet(t, set), Format: format})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("format %s: HTTP %d: %s", format, resp.StatusCode, body)
+			continue
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("format %s output missing %q: %.120s", format, want, body)
+		}
+	}
+	resp, _ := post(t, ts.URL+"/v1/render", RenderRequest{Set: rawSet(t, set), Format: "png"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sweep-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL+"/v1/sweeps", SweepRequest{Trials: 0})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("zero trials: HTTP %d, want 422", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/sweeps", SweepRequest{Trials: 1, Schedulers: []string{"bogus"}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bogus scheduler: HTTP %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestJobStoreBoundEvictsFinished(t *testing.T) {
+	svc, ts := newTestServer(t, Config{MaxJobs: 2})
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, body := post(t, ts.URL+"/v1/sweeps", SweepRequest{
+			Trials: 2, N: 4, Seed: int64(i), Schedulers: []string{"greedy"},
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("sweep %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var job Job
+		json.Unmarshal(body, &job)
+		ids = append(ids, job.ID)
+		waitJob(t, svc, job.ID)
+	}
+	if got := len(svc.jobs.list()); got > 2 {
+		t.Errorf("job store retains %d jobs, bound is 2", got)
+	}
+	// The oldest job must have been evicted to admit the third.
+	if _, ok := svc.jobs.get(ids[0]); ok {
+		t.Errorf("oldest finished job %s should have been evicted", ids[0])
+	}
+}
+
+func waitJob(t *testing.T, svc *Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := svc.jobs.get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared while running", id)
+		}
+		if job.Status != JobRunning {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return Job{}
+}
+
+func TestCloseCancelsRunningSweep(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Trials: 200000, N: 24, Schedulers: []string{"greedy+leafrev", "beam-search"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var job Job
+	json.Unmarshal(body, &job)
+
+	svc.Close() // must cancel the sweep and return promptly
+	got, ok := svc.jobs.get(job.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got.Status == JobRunning {
+		t.Errorf("job still running after Close: %+v", got)
+	}
+}
+
+// TestHandlerConcurrent drives the full schedule path from many
+// goroutines; with -race this exercises the sharded cache under real
+// handler traffic.
+func TestHandlerConcurrent(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 8, CacheShards: 4})
+	sets := make([]json.RawMessage, 4)
+	for i := range sets {
+		sets[i] = rawSet(t, genSet(t, 10, int64(i)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				req := ScheduleRequest{Set: sets[(g+i)%len(sets)]}
+				data, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(data))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("HTTP %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := svc.CacheStats()
+	if st.Hits+st.Misses != 8*25 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*25)
+	}
+	if st.Misses < int64(len(sets)) {
+		t.Errorf("expected at least %d misses, got %d", len(sets), st.Misses)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status     string   `json:"status"`
+		Algorithms []string `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Algorithms) < 10 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
