@@ -120,6 +120,23 @@ func (c *Client) Compare(ctx context.Context, set *model.MulticastSet, seed int6
 	return &out, nil
 }
 
+// WarmTable materializes (or reuses) the full optimal-schedule DP table
+// for the set's network, after which exact optima for any multicast drawn
+// from the network are constant-time lookups. parallelism caps the fill
+// workers (0 = server default).
+func (c *Client) WarmTable(ctx context.Context, set *model.MulticastSet, parallelism int) (*service.TableResponse, error) {
+	raw, err := encodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	var out service.TableResponse
+	err = c.do(ctx, http.MethodPost, "/v1/table", service.TableRequest{Set: raw, Parallelism: parallelism}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Render returns a rendered schedule (tree, gantt, dot, svg or json).
 func (c *Client) Render(ctx context.Context, req service.RenderRequest) (string, error) {
 	data, err := json.Marshal(req)

@@ -210,3 +210,39 @@ func TestEndToEndSweepMatchesDirectBatch(t *testing.T) {
 		}
 	}
 }
+
+func TestEndToEndWarmTable(t *testing.T) {
+	_, cl, _ := startServer(t)
+	ctx := context.Background()
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cl.WarmTable(ctx, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cache != "miss" || r1.OptimalRT != 8 || r1.K != 2 {
+		t.Fatalf("first warm: %+v", r1)
+	}
+	r2, err := cl.WarmTable(ctx, set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cache != "hit" || r2.Key != r1.Key {
+		t.Fatalf("second warm: %+v", r2)
+	}
+	// With the table warm, compare's exact optimum on a sub-multicast of
+	// the network is served from it.
+	sub := set.Clone()
+	sub.Nodes = sub.Nodes[:4]
+	cr, err := cl.Compare(ctx, sub, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Optimal == nil {
+		t.Fatal("compare omitted optimal")
+	}
+}

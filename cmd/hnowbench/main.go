@@ -7,21 +7,43 @@
 //	hnowbench                  # run everything
 //	hnowbench -experiment E4   # one experiment
 //	hnowbench -trials 200      # widen the sampled experiments
+//	hnowbench -json            # run the perf suite, write BENCH_dp.json
+//
+// The -json mode runs the hot-path performance suite (exact DP table
+// fills, sequential and parallel, against the retained seed recursive
+// solver; heuristic search loops) and emits machine-readable results so
+// the perf trajectory is tracked in-repo across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 
+	"repro/internal/exact"
 	"repro/internal/experiments"
+	"repro/internal/heur"
+	"repro/internal/model"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: E1..E15 or 'all'")
 	trials := flag.Int("trials", 0, "trial count for sampled experiments (0 = default)")
+	jsonMode := flag.Bool("json", false, "run the perf suite and emit JSON instead of experiments")
+	out := flag.String("out", "BENCH_dp.json", "output path for -json (\"-\" for stdout)")
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runPerfSuite(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func() string{
 		"E1":  experiments.E1Figure1,
@@ -52,4 +74,228 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(f())
+}
+
+// benchResult is one perf-suite measurement.
+type benchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_dp.json document.
+type benchReport struct {
+	Tool       string        `json:"tool"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+	// SpeedupFillAllVsReference is reference fill time / sequential
+	// iterative fill time on the k=3 ~60-destination network.
+	SpeedupFillAllVsReference float64 `json:"speedup_fillall_vs_reference"`
+}
+
+// k3n60 is the acceptance-criteria network: 3 types, 60 destinations.
+func k3n60() *model.MulticastSet {
+	a := model.Node{Send: 1, Recv: 1}
+	b := model.Node{Send: 2, Recv: 3}
+	c := model.Node{Send: 3, Recv: 5}
+	nodes := []model.Node{b}
+	for i := 0; i < 20; i++ {
+		nodes = append(nodes, a, b, c)
+	}
+	return &model.MulticastSet{Latency: 1, Nodes: nodes}
+}
+
+func k2n40() *model.MulticastSet {
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	nodes := []model.Node{slow}
+	for i := 0; i < 30; i++ {
+		nodes = append(nodes, fast)
+	}
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, slow)
+	}
+	return &model.MulticastSet{Latency: 1, Nodes: nodes}
+}
+
+func heurSet() (*model.MulticastSet, error) {
+	// Deterministic 64-destination, 3-type instance mirroring the heur
+	// package benchmarks.
+	types := []model.Node{{Send: 2, Recv: 2}, {Send: 3, Recv: 5}, {Send: 5, Recv: 8}}
+	nodes := []model.Node{types[0]}
+	for i := 0; i < 64; i++ {
+		nodes = append(nodes, types[i%3])
+	}
+	set := &model.MulticastSet{Latency: 2, Nodes: nodes}
+	return set, set.Validate()
+}
+
+func runPerfSuite(out string) error {
+	hs, err := heurSet()
+	if err != nil {
+		return err
+	}
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"dp_solve_k2_n40", func(b *testing.B) {
+			set := k2n40()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.OptimalRT(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"dp_fillall_reference_k3_n60", func(b *testing.B) {
+			set := k3n60()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.ReferenceFillAllRT(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"dp_fillall_seq_k3_n60", func(b *testing.B) {
+			set := k3n60()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.BuildTable(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"dp_fillall_par8_k3_n60", func(b *testing.B) {
+			set := k3n60()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.BuildTableParallel(set, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The two move-evaluation strategies side by side: the seed's full
+		// allocating ComputeTimes walk per candidate vs the incremental
+		// subtree recompute the heuristics now use.
+		{"move_eval_full_n64", func(b *testing.B) {
+			sch, err := heur.SlowestFirst{}.Schedule(hs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := len(hs.Nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := model.NodeID(1 + i%(n-1))
+				y := model.NodeID(1 + (i+7)%(n-1))
+				if x == y {
+					continue
+				}
+				if err := sch.SwapNodes(x, y); err != nil {
+					b.Fatal(err)
+				}
+				_ = model.RT(sch)
+				if err := sch.SwapNodes(x, y); err != nil {
+					b.Fatal(err)
+				}
+				_ = model.RT(sch)
+			}
+		}},
+		{"move_eval_incremental_n64", func(b *testing.B) {
+			sch, err := heur.SlowestFirst{}.Schedule(hs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tm model.Times
+			model.ComputeTimesInto(sch, &tm)
+			n := len(hs.Nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := model.NodeID(1 + i%(n-1))
+				y := model.NodeID(1 + (i+7)%(n-1))
+				if x == y {
+					continue
+				}
+				if err := sch.SwapNodes(x, y); err != nil {
+					b.Fatal(err)
+				}
+				tm.RecomputeFrom(sch, x)
+				tm.RecomputeFrom(sch, y)
+				if err := sch.SwapNodes(x, y); err != nil {
+					b.Fatal(err)
+				}
+				tm.RecomputeFrom(sch, x)
+				tm.RecomputeFrom(sch, y)
+			}
+		}},
+		{"local_search_n64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (heur.LocalSearch{MaxRounds: 10}).Schedule(hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"annealing_n64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (heur.Annealing{Seed: 5, Iters: 2000}).Schedule(hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"beam_search_n64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (heur.BeamSearch{}).Schedule(hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	report := benchReport{
+		Tool:       "hnowbench -json",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	nsOf := map[string]int64{}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		br := benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		nsOf[c.name] = br.NsPerOp
+		report.Results = append(report.Results, br)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d B/op %8d allocs/op\n",
+			c.name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+	if seq := nsOf["dp_fillall_seq_k3_n60"]; seq > 0 {
+		report.SpeedupFillAllVsReference = float64(nsOf["dp_fillall_reference_k3_n60"]) / float64(seq)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (fillall speedup vs seed recursive solver: %.1fx)\n",
+		out, report.SpeedupFillAllVsReference)
+	return nil
 }

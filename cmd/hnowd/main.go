@@ -11,6 +11,7 @@
 //	POST /v1/schedule     compute (or fetch) one plan
 //	POST /v1/compare      every scheduler on one instance
 //	POST /v1/render       tree/gantt/dot/svg/json rendering
+//	POST /v1/table        warm the network's optimal DP table
 //	POST /v1/sweeps       start an async parameter sweep
 //	GET  /v1/sweeps/{id}  poll a sweep job
 //	GET  /healthz         liveness + algorithm list
@@ -36,13 +37,17 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "default sweep worker-pool size (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 64, "maximum retained sweep jobs")
+	tableCache := flag.Int("table-cache", 4, "materialized DP tables kept warm")
+	tableWorkers := flag.Int("table-workers", 0, "default /v1/table fill parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		CacheSize:   *cacheSize,
-		CacheShards: *cacheShards,
-		Workers:     *workers,
-		MaxJobs:     *maxJobs,
+		CacheSize:      *cacheSize,
+		CacheShards:    *cacheShards,
+		Workers:        *workers,
+		MaxJobs:        *maxJobs,
+		TableCacheSize: *tableCache,
+		TableWorkers:   *tableWorkers,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

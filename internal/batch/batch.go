@@ -9,10 +9,72 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/stats"
 )
+
+// maxForEachChunk caps the number of consecutive indices a worker claims
+// per atomic fetch. The chunk scales down with n so that coarse-grained
+// jobs (e.g. sweep trials) still spread across every worker, and up to
+// this cap so that fine-grained jobs (e.g. DP states) amortize the atomic.
+const maxForEachChunk = 64
+
+// ForEach invokes fn(worker, i) for every i in [0, n), distributing the
+// indices over up to workers goroutines (0 selects GOMAXPROCS). worker is
+// a stable 0-based identifier of the calling goroutine, so fn can index
+// per-worker scratch without locking. Indices are handed out in chunks via
+// an atomic cursor; every index is processed exactly once. ForEach returns
+// after all calls complete. With workers <= 1 (or n == 1) it degenerates
+// to a plain loop on the calling goroutine with worker = 0.
+func ForEach(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Aim for ~8 chunks per worker so stragglers rebalance.
+	chunk := int64(n / (workers * 8))
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > maxForEachChunk {
+		chunk = maxForEachChunk
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := cursor.Add(chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(worker, int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
 // Result is the evaluation of one instance by every scheduler.
 type Result struct {
@@ -61,30 +123,10 @@ func (s Sweep) Run() ([]Result, error) {
 		}
 		names[sc.Name()] = true
 	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > s.Trials && s.Trials > 0 {
-		workers = s.Trials
-	}
 	results := make([]Result, s.Trials)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = s.evalOne(i)
-			}
-		}()
-	}
-	for i := 0; i < s.Trials; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	ForEach(s.Workers, s.Trials, func(_, i int) {
+		results[i] = s.evalOne(i)
+	})
 	return results, nil
 }
 

@@ -16,13 +16,27 @@
 // full table the paper suggests (constant-time lookup for every possible
 // multicast in a network), and provides a pruned brute-force enumerator
 // used as an independent ground-truth oracle for small instances.
+//
+// The solver is iterative and layered rather than recursive: every split
+// in the recurrence strictly reduces the total destination count, so the
+// states are evaluated bottom-up by total, layer t depending only on
+// layers < t. That removes recursion and per-call allocations, lets
+// FillAll shard each layer across a worker pool (FillAllParallel), and
+// enables the split pruning evalState documents: a sound column-skip
+// bound from pivot-axis prefix minima, plus crossover binary search on
+// networks whose filled layers verify monotone (T is NOT monotone in the
+// count vector in general — an extra fast relay node can lower the
+// optimum — so the fast path is guarded at runtime).
 package exact
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/batch"
 	"repro/internal/model"
 )
 
@@ -36,7 +50,9 @@ type Type struct {
 }
 
 // DP is the Lemma 4 dynamic program for one network (a fixed latency and
-// inventory of node types). A DP is not safe for concurrent use.
+// inventory of node types). A DP is not safe for concurrent use, except
+// that FillAllParallel coordinates its own workers; after a fill, Optimal
+// degenerates to a read-only table lookup.
 type DP struct {
 	latency int64
 	types   []Type // sorted by (Send, Recv), all distinct
@@ -45,11 +61,42 @@ type DP struct {
 	strides []int64
 	prod    int64 // product of dims
 
-	value  []int64  // memo: -1 = unknown; index = state
+	value  []int64  // -1 = unknown; index = src*prod + encoded count vector
 	choice []uint64 // packed (l, yState) for reconstruction
+	// pmin[idx] is the prefix minimum of value along the pivot axis:
+	// min over 0 <= t <= v_pivot of T(s, v - t*e_pivot). Maintained in
+	// O(1) per state during the fill (the predecessor sits one layer
+	// down), it yields the exact minimum of each inner-loop column's
+	// subtree and remainder terms in O(1), giving a sound column-skip
+	// bound that needs no monotonicity assumption.
+	pmin []int64
 
+	// order lists every count-vector state in non-decreasing total
+	// destination count (counting-sorted; ascending state within a layer);
+	// order[layerOff[t]:layerOff[t+1]] are the states with total t. The
+	// layered fill walks order so every referenced sub-state is already
+	// evaluated.
+	order    []int32
+	layerOff []int32
+	// pivot is the axis binary-searched in the inner loop; the axis with
+	// the largest dimension yields the biggest saving.
+	pivot int
+	// monotonePivot records whether every computed state so far satisfies
+	// T(s, v) >= T(s, v - e_pivot) — the property the split pruning
+	// relies on. T is NOT monotone for every valid network (a cheap extra
+	// relay node can lower the optimum, e.g. with receive-overhead ties
+	// across distinct send overheads), so each freshly computed value is
+	// checked against its pivot predecessor; on the first violation the
+	// flag drops (sticky) and later layers use the exhaustive column scan.
+	// Pruning a layer-t state only consults values in layers < t, all of
+	// which were checked before layer t started, so results stay exact for
+	// every input. Atomic because parallel fill workers share it.
+	monotonePivot atomic.Bool
+
+	// Scratch for the sequential fill path; parallel workers carry their
+	// own (see FillAllParallel).
+	scratchVec []int
 	scratchY   []int
-	scratchRem []int
 }
 
 const unknown = int64(-1)
@@ -59,6 +106,30 @@ const inf = int64(math.MaxInt64) / 4
 // per-type destination counts. Types must be distinct; they are sorted
 // internally by (Send, Recv).
 func New(latency int64, types []Type, counts []int) (*DP, error) {
+	dp, err := newGeometry(latency, types, counts)
+	if err != nil {
+		return nil, err
+	}
+	k := len(dp.types)
+	total := int64(k) * dp.prod
+	dp.value = make([]int64, total)
+	for i := range dp.value {
+		dp.value[i] = unknown
+	}
+	dp.choice = make([]uint64, total)
+	dp.pmin = make([]int64, total)
+	dp.scratchVec = make([]int, k)
+	dp.scratchY = make([]int, k)
+	dp.monotonePivot.Store(true)
+	dp.buildLayers()
+	return dp, nil
+}
+
+// newGeometry validates the network and builds only the state-space
+// geometry (sorted types, dims, strides): enough for encoding, decoding
+// and query checking, without the solver's tables. The reference solver
+// builds on this so its memory profile matches the seed implementation.
+func newGeometry(latency int64, types []Type, counts []int) (*DP, error) {
 	if latency <= 0 {
 		return nil, fmt.Errorf("exact: latency must be positive, got %d", latency)
 	}
@@ -102,19 +173,78 @@ func New(latency int64, types []Type, counts []int) (*DP, error) {
 		if dp.prod > MaxStates {
 			return nil, fmt.Errorf("exact: state space too large (> %d states)", MaxStates)
 		}
+		if dp.dims[j] > dp.dims[dp.pivot] {
+			dp.pivot = j
+		}
 	}
-	total := int64(k) * dp.prod
-	if total > MaxStates {
+	if total := int64(k) * dp.prod; total > MaxStates {
 		return nil, fmt.Errorf("exact: state space too large: %d states (> %d)", total, MaxStates)
 	}
-	dp.value = make([]int64, total)
-	for i := range dp.value {
-		dp.value[i] = unknown
-	}
-	dp.choice = make([]uint64, total)
-	dp.scratchY = make([]int, k)
-	dp.scratchRem = make([]int, k)
 	return dp, nil
+}
+
+// buildLayers counting-sorts every count-vector state by its total
+// destination count into dp.order / dp.layerOff.
+func (dp *DP) buildLayers() {
+	dp.order, dp.layerOff = dp.countingSortBox(dp.counts)
+}
+
+// countingSortBox lists every encoded state within the componentwise box
+// bounded by bounds, counting-sorted by total destination count:
+// order[layerOff[t]:layerOff[t+1]] are the box states with total t, each
+// layer in ascending encoded order (the odometer visits states
+// ascending), so the fill order is deterministic. Two odometer passes
+// track the total and the encoded state incrementally.
+func (dp *DP) countingSortBox(bounds []int) (order, layerOff []int32) {
+	k := len(dp.types)
+	boxProd := 1
+	maxTotal := 0
+	for _, c := range bounds {
+		boxProd *= c + 1
+		maxTotal += c
+	}
+	hist := make([]int32, maxTotal+1)
+	vec := make([]int, k)
+	total := 0
+	for i := 0; i < boxProd; i++ {
+		hist[total]++
+		for j := 0; j < k; j++ {
+			if vec[j] < bounds[j] {
+				vec[j]++
+				total++
+				break
+			}
+			total -= vec[j]
+			vec[j] = 0
+		}
+	}
+	layerOff = make([]int32, maxTotal+2)
+	for t := 0; t <= maxTotal; t++ {
+		layerOff[t+1] = layerOff[t] + hist[t]
+	}
+	order = make([]int32, boxProd)
+	next := append([]int32(nil), layerOff[:maxTotal+1]...)
+	for j := range vec {
+		vec[j] = 0
+	}
+	total = 0
+	var state int64
+	for i := 0; i < boxProd; i++ {
+		order[next[total]] = int32(state)
+		next[total]++
+		for j := 0; j < k; j++ {
+			if vec[j] < bounds[j] {
+				vec[j]++
+				total++
+				state += dp.strides[j]
+				break
+			}
+			total -= vec[j]
+			state -= int64(vec[j]) * dp.strides[j]
+			vec[j] = 0
+		}
+	}
+	return order, layerOff
 }
 
 // K returns the number of distinct types.
@@ -162,12 +292,17 @@ func (dp *DP) stateIndex(src int, vecState int64) int64 {
 // Optimal returns T(srcType, counts): the minimum reception completion time
 // of a multicast from a source of type srcType to counts[j] destinations of
 // type j. counts must be within the per-type limits the DP was built with.
+// The first call fills every state within the queried box bottom-up;
+// repeat calls on filled states are constant-time lookups.
 func (dp *DP) Optimal(srcType int, counts []int) (int64, error) {
 	if err := dp.checkQuery(srcType, counts); err != nil {
 		return 0, err
 	}
-	vec := append([]int(nil), counts...)
-	return dp.solve(srcType, vec), nil
+	idx := dp.stateIndex(srcType, dp.encodeVec(counts))
+	if dp.value[idx] == unknown {
+		dp.fillBox(counts)
+	}
+	return dp.value[idx], nil
 }
 
 func (dp *DP) checkQuery(srcType int, counts []int) error {
@@ -185,91 +320,261 @@ func (dp *DP) checkQuery(srcType int, counts []int) error {
 	return nil
 }
 
-// solve evaluates the Lemma 4 recurrence with memoization. vec is mutated
-// during the call but restored before returning.
-func (dp *DP) solve(s int, vec []int) int64 {
-	vecState := dp.encodeVec(vec)
-	idx := dp.stateIndex(s, vecState)
-	if v := dp.value[idx]; v != unknown {
-		return v
-	}
+// evalState evaluates the Lemma 4 recurrence for state (s, vecState). Every
+// state with a strictly smaller destination total must already be in
+// dp.value (the layered fill guarantees it). vec must hold the decoded
+// vecState on entry and is only read; y is odometer scratch. Both have
+// length k.
+//
+// With pruned set, instead of scanning every split y with a blind
+// odometer, the inner loop exploits monotonicity of T along the pivot
+// axis (established for all already-filled layers, see monotonePivot):
+// along the pivot axis, with all other coordinates fixed, the subtree
+// term a(y) = T(l, y) + S + L + R(l) is non-decreasing and the remainder
+// term b(y) = T(s, i - e_l - y) + S is non-increasing, so max(a, b) is
+// valley-shaped and its column minimum sits at the a/b crossover, found
+// by binary search. A per-column lower bound max(min a, min b) against
+// the running best skips dominated columns in two lookups. The scan is
+// exhaustive over the remaining axes, so the returned value is the exact
+// minimum, bit-identical to the full scan. Callers must pass pruned=false
+// once a pivot-axis monotonicity violation has been observed; the column
+// is then scanned exhaustively.
+func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64, uint64) {
 	k := len(dp.types)
-	total := 0
-	for _, v := range vec {
-		total += v
-	}
-	if total == 0 {
-		dp.value[idx] = 0
-		return 0
-	}
 	S, L := dp.types[s].Send, dp.latency
+	p := dp.pivot
+	sp := dp.strides[p]
+	bVal := dp.value[int64(s)*dp.prod:]
+	bPmin := dp.pmin[int64(s)*dp.prod:]
 	best := inf
 	var bestChoice uint64
-	y := make([]int, k)
-	rem := make([]int, k)
 	for l := 0; l < k; l++ {
 		if vec[l] == 0 {
 			continue
 		}
-		vec[l]-- // reserve the node of type l that receives first
-		// Enumerate every split y <= vec componentwise with an odometer.
+		// Reserve the node of type l that receives first.
+		baseState := vecState - dp.strides[l]
+		addA := S + L + dp.types[l].Recv
+		aVal := dp.value[int64(l)*dp.prod:]
+		aPmin := dp.pmin[int64(l)*dp.prod:]
+		cp := vec[p]
+		if p == l {
+			cp--
+		}
+		// Odometer over the non-pivot axes; yOuter is the encoded partial
+		// split. Splits y <= base componentwise encode without carries, so
+		// the remainder state is simply baseState - yState.
 		for j := range y {
 			y[j] = 0
 		}
+		var yOuter int64
 		for {
-			for j := range rem {
-				rem[j] = vec[j] - y[j]
+			// Column {yOuter + t*sp : 0 <= t <= cp}. The exact minima of
+			// the subtree term a(t) and the remainder term b(t) over the
+			// column come from the pivot prefix minima in O(1): both
+			// ranges start at pivot coordinate 0 and end at cp, so each
+			// is a prefix. max of the two is a sound lower bound on
+			// min max(a, b) with no monotonicity assumption; a column
+			// that cannot beat the running best is skipped outright.
+			aMin := aPmin[yOuter+int64(cp)*sp] + addA
+			bMin := bPmin[baseState-yOuter] + S
+			lb := aMin
+			if bMin > lb {
+				lb = bMin
 			}
-			a := dp.solve(l, y) + S + L + dp.types[l].Recv
-			b := dp.solve(s, rem) + S
-			v := a
-			if b > v {
-				v = b
+			if lb < best {
+				if pruned {
+					// Binary search the smallest t with a(t) >= b(t); the
+					// column minimum is min(b(t-1), a(t)).
+					lo, hi := 0, cp
+					for lo < hi {
+						mid := int(uint(lo+hi) >> 1)
+						ys := yOuter + int64(mid)*sp
+						if aVal[ys]+addA >= bVal[baseState-ys]+S {
+							hi = mid
+						} else {
+							lo = mid + 1
+						}
+					}
+					yState := yOuter + int64(lo)*sp
+					a := aVal[yState] + addA
+					b := bVal[baseState-yState] + S
+					v := a
+					if b > v {
+						v = b
+					}
+					if v < best {
+						best = v
+						bestChoice = uint64(l)<<40 | uint64(yState)
+					}
+					if lo > 0 {
+						yState -= sp
+						a = aVal[yState] + addA
+						b = bVal[baseState-yState] + S
+						v = a
+						if b > v {
+							v = b
+						}
+						if v < best {
+							best = v
+							bestChoice = uint64(l)<<40 | uint64(yState)
+						}
+					}
+				} else {
+					// Exhaustive column scan: sound without monotonicity.
+					for t := 0; t <= cp; t++ {
+						yState := yOuter + int64(t)*sp
+						a := aVal[yState] + addA
+						b := bVal[baseState-yState] + S
+						v := a
+						if b > v {
+							v = b
+						}
+						if v < best {
+							best = v
+							bestChoice = uint64(l)<<40 | uint64(yState)
+						}
+					}
+				}
 			}
-			if v < best {
-				best = v
-				bestChoice = uint64(l)<<40 | uint64(dp.encodeVec(y))
-			}
-			// Advance the odometer.
+			// Advance the outer odometer.
 			j := 0
 			for ; j < k; j++ {
-				if y[j] < vec[j] {
+				if j == p {
+					continue
+				}
+				capj := vec[j]
+				if j == l {
+					capj--
+				}
+				if y[j] < capj {
 					y[j]++
+					yOuter += dp.strides[j]
 					break
 				}
+				yOuter -= int64(y[j]) * dp.strides[j]
 				y[j] = 0
 			}
 			if j == k {
 				break
 			}
 		}
-		vec[l]++
 	}
-	dp.value[idx] = best
-	dp.choice[idx] = bestChoice
-	return best
+	return best, bestChoice
+}
+
+// fillBox evaluates every unknown state (all source types) whose count
+// vector is componentwise within limit (nil = no limit, the full table),
+// bottom-up by layer. Sequential; uses the DP's own scratch. A bounded
+// query enumerates only the box itself (counting-sorted by total on the
+// fly), so small queries on a big DP stay proportional to the box, not to
+// the whole state space.
+func (dp *DP) fillBox(limit []int) {
+	if limit == nil {
+		dp.fillStates(dp.order, dp.layerOff)
+		return
+	}
+	order, layerOff := dp.countingSortBox(limit)
+	dp.fillStates(order, layerOff)
+}
+
+// fillStates evaluates the listed states in layer order (every referenced
+// sub-state must appear in an earlier layer or already be known). The
+// pruning flag is sampled per layer: pruning a layer-t state only
+// consults layers < t, whose pivot-axis monotonicity was checked as they
+// were written, so a violation surfacing in layer t disables pruning from
+// layer t+1 without invalidating anything already computed.
+func (dp *DP) fillStates(order []int32, layerOff []int32) {
+	k := len(dp.types)
+	vec, y := dp.scratchVec, dp.scratchY
+	for t := 0; t < len(layerOff)-1; t++ {
+		pruned := dp.monotonePivot.Load()
+		for i := layerOff[t]; i < layerOff[t+1]; i++ {
+			vecState := int64(order[i])
+			dp.decodeVec(vecState, vec)
+			for s := 0; s < k; s++ {
+				dp.fillOne(s, t, vecState, vec, y, pruned)
+			}
+		}
+	}
+}
+
+// fillOne evaluates one state (s, vecState) of layer t, maintaining the
+// value, choice and pivot prefix-minimum tables and the monotonicity
+// flag. Already-known states are left untouched. vec must hold the
+// decoded vecState; y is odometer scratch. Shared by the sequential and
+// parallel fills so their results stay bit-identical by construction.
+func (dp *DP) fillOne(s, t int, vecState int64, vec, y []int, pruned bool) {
+	idx := int64(s)*dp.prod + vecState
+	if dp.value[idx] != unknown {
+		return
+	}
+	if t == 0 {
+		dp.value[idx] = 0
+		dp.pmin[idx] = 0
+		return
+	}
+	v, ch := dp.evalState(s, vecState, vec, y, pruned)
+	dp.value[idx] = v
+	dp.choice[idx] = ch
+	pm := v
+	if vec[dp.pivot] > 0 {
+		sp := dp.strides[dp.pivot]
+		if prev := dp.pmin[idx-sp]; prev < pm {
+			pm = prev
+		}
+		if v < dp.value[idx-sp] {
+			dp.monotonePivot.Store(false)
+		}
+	}
+	dp.pmin[idx] = pm
 }
 
 // FillAll evaluates every state (all source types, all count vectors up to
 // the per-type limits), realizing the precomputed table of Theorem 2's
 // closing remark. After FillAll every Optimal call is a constant-time
 // lookup.
-func (dp *DP) FillAll() {
+func (dp *DP) FillAll() { dp.fillBox(nil) }
+
+// FillAllParallel is FillAll with the per-layer work sharded across up to
+// workers goroutines (0 selects GOMAXPROCS). Layers are barriers: layer t
+// only starts once every state of layers < t is written, which is exactly
+// the dependency structure of the recurrence, so the result -- values and
+// reconstruction choices alike -- is deterministic and identical to the
+// sequential fill regardless of scheduling.
+func (dp *DP) FillAllParallel(workers int) {
+	if workers == 1 {
+		dp.fillBox(nil)
+		return
+	}
+	// More workers than cores never helps a CPU-bound fill, and the count
+	// can arrive from the network (/v1/table's parallelism field), so
+	// clamp before sizing any per-worker state.
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	k := len(dp.types)
-	vec := make([]int, k)
-	for s := 0; s < k; s++ {
-		for j := range vec {
-			vec[j] = dp.counts[j]
-		}
-		dp.solve(s, vec) // solving the full state fills all sub-states
-		// Not every sub-state is necessarily reachable from the full one
-		// for this source; sweep the remainder explicitly.
-		for st := int64(0); st < dp.prod; st++ {
-			if dp.value[dp.stateIndex(s, st)] == unknown {
-				dp.decodeVec(st, vec)
-				dp.solve(s, vec)
+	type scratch struct {
+		vec, y []int
+	}
+	scr := make([]scratch, workers)
+	for w := range scr {
+		scr[w] = scratch{vec: make([]int, k), y: make([]int, k)}
+	}
+	for t := 0; t < len(dp.layerOff)-1; t++ {
+		off := int(dp.layerOff[t])
+		n := int(dp.layerOff[t+1]) - off
+		// Sampled at the layer barrier, exactly like the sequential fill,
+		// so values and choices stay bit-identical to it.
+		pruned := dp.monotonePivot.Load()
+		batch.ForEach(workers, n, func(w, i int) {
+			vecState := int64(dp.order[off+i])
+			sc := &scr[w]
+			dp.decodeVec(vecState, sc.vec)
+			for s := 0; s < k; s++ {
+				dp.fillOne(s, t, vecState, sc.vec, sc.y, pruned)
 			}
-		}
+		})
 	}
 }
 
@@ -281,7 +586,7 @@ type typeTree struct {
 }
 
 // reconstruct rebuilds an optimal type-level schedule for state (s, vec).
-// solve must have been called for the state already (Optimal does this).
+// The state's box must be filled already (Optimal does this).
 func (dp *DP) reconstruct(s int, vec []int) *typeTree {
 	root := &typeTree{typ: s}
 	k := len(dp.types)
@@ -297,24 +602,19 @@ func (dp *DP) reconstruct(s int, vec []int) *typeTree {
 		}
 		idx := dp.stateIndex(s, dp.encodeVec(cur))
 		if dp.value[idx] == unknown {
-			dp.solve(s, cur)
+			dp.fillBox(cur)
 		}
 		ch := dp.choice[idx]
 		l := int(ch >> 40)
 		dp.decodeVec(int64(ch&((1<<40)-1)), y)
 		// First child: a node of type l rooting the subtree with counts y.
-		root.children = append(root.children, dp.reconstructChild(l, y))
+		root.children = append(root.children, dp.reconstruct(l, y))
 		// Continue with the remaining counts from the same source.
 		for j := range cur {
 			cur[j] -= y[j]
 		}
 		cur[l]--
 	}
-}
-
-func (dp *DP) reconstructChild(l int, y []int) *typeTree {
-	sub := dp.reconstruct(l, y)
-	return sub
 }
 
 // ScheduleFor reconstructs an optimal schedule as a model.Schedule for a
@@ -331,9 +631,10 @@ func (dp *DP) ScheduleFor(set *model.MulticastSet, srcType int, counts []int, de
 			return nil, fmt.Errorf("exact: %d IDs supplied for type %d, counts say %d", len(destsByType[j]), j, counts[j])
 		}
 	}
-	vec := append([]int(nil), counts...)
-	dp.solve(srcType, vec)
-	tt := dp.reconstruct(srcType, vec)
+	if dp.value[dp.stateIndex(srcType, dp.encodeVec(counts))] == unknown {
+		dp.fillBox(counts)
+	}
+	tt := dp.reconstruct(srcType, counts)
 	sch := model.NewSchedule(set)
 	next := make([]int, len(counts)) // next unused ID index per type
 	var build func(parentID model.NodeID, node *typeTree) error

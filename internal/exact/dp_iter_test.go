@@ -1,0 +1,267 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestIterativeMatchesReferenceRandom cross-checks the layered pruned
+// solver against the retained seed recursive solver state for state, and
+// against the brute-force oracle where feasible, on randomized instances
+// with k in {1,2,3}.
+func TestIterativeMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(7)
+		set := randTypedSet(rng, n, k)
+		inst, err := Analyze(set)
+		if err != nil {
+			t.Fatalf("trial %d: Analyze: %v", trial, err)
+		}
+		dp, err := inst.NewDP()
+		if err != nil {
+			t.Fatalf("trial %d: New: %v", trial, err)
+		}
+		dp.FillAll()
+		ref, err := NewReference(set.Latency, inst.Types, inst.Counts)
+		if err != nil {
+			t.Fatalf("trial %d: NewReference: %v", trial, err)
+		}
+		ref.FillAll()
+		for s := 0; s < dp.K(); s++ {
+			for st := int64(0); st < dp.prod; st++ {
+				got := dp.value[dp.stateIndex(s, st)]
+				want := ref.Value(s, st)
+				if got != want {
+					t.Fatalf("trial %d: state (s=%d, vec=%d): iterative=%d reference=%d\nset %+v",
+						trial, s, st, got, want, set)
+				}
+			}
+		}
+		if n <= MaxBruteForceN {
+			opt, err := dp.Optimal(inst.SourceType, inst.Counts)
+			if err != nil {
+				t.Fatalf("trial %d: Optimal: %v", trial, err)
+			}
+			bf, err := BruteForceRT(set)
+			if err != nil {
+				t.Fatalf("trial %d: BruteForceRT: %v", trial, err)
+			}
+			if opt != bf {
+				t.Fatalf("trial %d: iterative=%d brute=%d for %+v", trial, opt, bf, set)
+			}
+		}
+	}
+}
+
+// TestNonMonotoneNetworkExact is the regression case for the pruning
+// soundness guard: with receive-overhead ties across distinct send
+// overheads (legal under model.Validate), T is NOT monotone in the count
+// vector — an extra fast relay node lowers the optimum (here
+// T(1,[0,0,5]) > T(1,[1,0,5])) — so unguarded crossover pruning returns a
+// wrong table value for state (1,[2,3,5]). The fill must detect the
+// violation and fall back to the exhaustive column scan.
+func TestNonMonotoneNetworkExact(t *testing.T) {
+	types := []Type{{Send: 2, Recv: 4}, {Send: 3, Recv: 4}, {Send: 4, Recv: 6}}
+	counts := []int{5, 4, 5}
+	dp, err := New(2, types, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.FillAll()
+	lo, err := dp.Optimal(1, []int{0, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := dp.Optimal(1, []int{1, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= hi {
+		t.Logf("note: instance no longer exhibits non-monotonicity (T=%d vs %d)", lo, hi)
+	}
+	ref, err := NewReference(2, types, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.FillAll()
+	for s := 0; s < dp.K(); s++ {
+		for st := int64(0); st < dp.prod; st++ {
+			got := dp.value[dp.stateIndex(s, st)]
+			want := ref.Value(s, st)
+			if got != want {
+				t.Fatalf("state (s=%d, vec=%d): iterative=%d reference=%d", s, st, got, want)
+			}
+		}
+	}
+	par, err := New(2, types, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.FillAllParallel(4)
+	for i := range dp.value {
+		if dp.value[i] != par.value[i] {
+			t.Fatalf("parallel fill diverges at %d: seq=%d par=%d", i, dp.value[i], par.value[i])
+		}
+	}
+}
+
+// randTiedSet draws nodes from a palette where distinct send overheads can
+// share a receive overhead — the regime where T loses monotonicity.
+func randTiedSet(rng *rand.Rand, n, numTypes int) *model.MulticastSet {
+	palette := make([]model.Node, numTypes)
+	send, recv := int64(1), int64(2)
+	for i := range palette {
+		send += int64(1 + rng.Intn(2))
+		if rng.Intn(2) == 0 { // half the steps keep recv tied
+			recv += int64(rng.Intn(3))
+		}
+		if recv < send {
+			recv = send
+		}
+		palette[i] = model.Node{Send: send, Recv: recv}
+	}
+	nodes := make([]model.Node, n+1)
+	for i := range nodes {
+		nodes[i] = palette[rng.Intn(numTypes)]
+	}
+	set := &model.MulticastSet{Latency: int64(1 + rng.Intn(3)), Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// TestIterativeMatchesReferenceTiedTypes cross-checks the guarded solver
+// on recv-tied palettes, where the monotonicity fallback must engage.
+func TestIterativeMatchesReferenceTiedTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8111))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(2)
+		n := 2 + rng.Intn(9)
+		set := randTiedSet(rng, n, k)
+		inst, err := Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp.FillAll()
+		ref, err := NewReference(set.Latency, inst.Types, inst.Counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.FillAll()
+		for s := 0; s < dp.K(); s++ {
+			for st := int64(0); st < dp.prod; st++ {
+				if got, want := dp.value[dp.stateIndex(s, st)], ref.Value(s, st); got != want {
+					t.Fatalf("trial %d: state (s=%d, vec=%d): iterative=%d reference=%d\nset %+v",
+						trial, s, st, got, want, set)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFillMatchesSequential checks FillAllParallel against the
+// sequential fill state for state (values and reconstruction choices).
+// Run under -race this also exercises the layer-barrier discipline.
+func TestParallelFillMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4099))
+	for trial := 0; trial < 8; trial++ {
+		k := 1 + rng.Intn(3)
+		set := randTypedSet(rng, 4+rng.Intn(12), k)
+		inst, err := Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.FillAll()
+		par, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.FillAllParallel(4)
+		if len(seq.value) != len(par.value) {
+			t.Fatalf("trial %d: state counts differ", trial)
+		}
+		for i := range seq.value {
+			if seq.value[i] != par.value[i] {
+				t.Fatalf("trial %d: value[%d]: seq=%d par=%d", trial, i, seq.value[i], par.value[i])
+			}
+			if seq.choice[i] != par.choice[i] {
+				t.Fatalf("trial %d: choice[%d]: seq=%d par=%d", trial, i, seq.choice[i], par.choice[i])
+			}
+		}
+	}
+}
+
+// TestOptimalBoxFillThenFillAll exercises the partial (box-limited) fill
+// followed by a full fill: the lazily filled states must survive intact
+// and the remainder must complete.
+func TestOptimalBoxFillThenFillAll(t *testing.T) {
+	set := figure1Set(t)
+	inst, err := Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := inst.NewDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query a strict sub-box first.
+	sub, err := dp.Optimal(0, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != 3 {
+		t.Fatalf("sub-box Optimal = %d, want 3", sub)
+	}
+	if dp.Computed() == dp.States() {
+		t.Fatal("sub-box query filled the whole table")
+	}
+	dp.FillAll()
+	if dp.Computed() != dp.States() {
+		t.Fatalf("FillAll left %d of %d states unknown", dp.States()-dp.Computed(), dp.States())
+	}
+	full, err := dp.Optimal(inst.SourceType, inst.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 8 {
+		t.Fatalf("full Optimal = %d, want 8", full)
+	}
+}
+
+// TestScheduleForLargeInstances verifies reconstruction on instances large
+// enough to stress the pruned inner loop: the rebuilt schedule's measured
+// RT must equal the DP value.
+func TestScheduleForLargeInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(2)
+		set := randTypedSet(rng, 12+rng.Intn(18), k)
+		opt, err := OptimalRT(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := Schedule(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := model.RT(sch); got != opt {
+			t.Fatalf("trial %d: schedule RT %d != DP %d", trial, got, opt)
+		}
+	}
+}

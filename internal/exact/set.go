@@ -122,6 +122,13 @@ type Table struct {
 // BuildTable analyzes the set, runs the DP over every state and returns
 // the table.
 func BuildTable(set *model.MulticastSet) (*Table, error) {
+	return BuildTableParallel(set, 1)
+}
+
+// BuildTableParallel is BuildTable with the layered fill sharded across up
+// to workers goroutines (0 selects GOMAXPROCS). The resulting table is
+// identical to the sequential build.
+func BuildTableParallel(set *model.MulticastSet, workers int) (*Table, error) {
 	inst, err := Analyze(set)
 	if err != nil {
 		return nil, err
@@ -130,7 +137,7 @@ func BuildTable(set *model.MulticastSet) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	dp.FillAll()
+	dp.FillAllParallel(workers)
 	return &Table{dp: dp, inst: inst}, nil
 }
 
@@ -155,4 +162,43 @@ func (t *Table) Lookup(srcType int, counts []int) (int64, error) {
 		return 0, fmt.Errorf("exact: state not filled (table built incorrectly)")
 	}
 	return v, nil
+}
+
+// LookupSet answers an arbitrary multicast drawn from the table's network
+// in constant time (the paper's Theorem 2 closing remark): the set must
+// have the table's latency, every node's type must appear in the table's
+// inventory, and the per-type destination counts must be within the
+// table's bounds. ok is false when the set is not covered.
+func (t *Table) LookupSet(set *model.MulticastSet) (rt int64, ok bool) {
+	if set == nil || len(set.Nodes) == 0 || set.Latency != t.dp.latency {
+		return 0, false
+	}
+	typeOf := func(n model.Node) int {
+		for j, ty := range t.dp.types {
+			if ty.Send == n.Send && ty.Recv == n.Recv {
+				return j
+			}
+		}
+		return -1
+	}
+	src := typeOf(set.Nodes[0])
+	if src < 0 {
+		return 0, false
+	}
+	counts := make([]int, len(t.dp.types))
+	for _, n := range set.Nodes[1:] {
+		j := typeOf(n)
+		if j < 0 {
+			return 0, false
+		}
+		counts[j]++
+		if counts[j] > t.dp.counts[j] {
+			return 0, false
+		}
+	}
+	v, err := t.Lookup(src, counts)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }

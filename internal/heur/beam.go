@@ -124,8 +124,10 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		beam = next
 	}
 	// Materialize every beam candidate, leaf-reverse it, keep the best.
+	// Candidates share one reusable Times buffer for the final scoring.
 	var best *model.Schedule
 	var bestRT int64
+	var tm model.Times
 	for _, st := range beam {
 		sch, err := materialize(set, st)
 		if err != nil {
@@ -134,7 +136,7 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		if _, err := core.ReverseLeaves(sch); err != nil {
 			return nil, err
 		}
-		if rt := model.RT(sch); best == nil || rt < bestRT {
+		if rt := model.RTInto(sch, &tm); best == nil || rt < bestRT {
 			best, bestRT = sch, rt
 		}
 	}

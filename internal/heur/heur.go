@@ -60,7 +60,12 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
-	cur := model.RT(sch)
+	// Incremental evaluation: one full timing pass up front, then every
+	// candidate move re-walks only the affected subtrees (RecomputeFrom),
+	// so the inner loops neither allocate nor re-traverse the whole tree.
+	var tm model.Times
+	model.ComputeTimesInto(sch, &tm)
+	cur := tm.RT
 	n := len(set.Nodes)
 	for round := 0; round < rounds; round++ {
 		improved := false
@@ -73,11 +78,17 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 				if err := sch.SwapNodes(a, b); err != nil {
 					return nil, err
 				}
-				if rt := model.RT(sch); rt < cur {
-					cur = rt
+				tm.RecomputeFrom(sch, a)
+				tm.RecomputeFrom(sch, b)
+				if tm.RT < cur {
+					cur = tm.RT
 					improved = true
-				} else if err := sch.SwapNodes(a, b); err != nil { // undo
-					return nil, err
+				} else {
+					if err := sch.SwapNodes(a, b); err != nil { // undo
+						return nil, err
+					}
+					tm.RecomputeFrom(sch, a)
+					tm.RecomputeFrom(sch, b)
 				}
 			}
 		}
@@ -107,8 +118,14 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 					}
 					continue
 				}
-				if rt := model.RT(sch); rt < cur {
-					cur = rt
+				// oldParent first: its re-walk covers the rank-shifted
+				// later siblings, and the leaf too when the target sits
+				// inside that subtree; the leaf call then re-derives the
+				// leaf from its (now current) new parent.
+				tm.RecomputeFrom(sch, oldParent)
+				tm.RecomputeFrom(sch, leaf)
+				if tm.RT < cur {
+					cur = tm.RT
 					improved = true
 				} else {
 					// Undo exactly: remove from the target's tail and
@@ -119,6 +136,8 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 					if err := sch.InsertChild(oldParent, leaf, oldIdx); err != nil {
 						return nil, err
 					}
+					tm.RecomputeFrom(sch, oldParent)
+					tm.RecomputeFrom(sch, leaf)
 				}
 			}
 		}
@@ -167,7 +186,13 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	if n <= 2 {
 		return sch, nil
 	}
-	cur := float64(model.RT(sch))
+	// Incremental evaluation plus pooled undo bookkeeping: candidate moves
+	// re-walk only the two swapped subtrees, and the incumbent best is a
+	// single preallocated snapshot refreshed in place (CopyFrom) instead
+	// of a fresh Clone per improvement.
+	var tm model.Times
+	model.ComputeTimesInto(sch, &tm)
+	cur := float64(tm.RT)
 	best := sch.Clone()
 	bestRT := cur
 	t0 := a.T0
@@ -182,7 +207,9 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		if temp < 1e-3 {
 			temp = 1e-3
 		}
-		// Propose a random swap of two distinct destinations.
+		// Propose a random swap of two distinct destinations; same-type
+		// pairs are rejected before any evaluation (the swap cannot change
+		// times).
 		x := 1 + rng.Intn(n-1)
 		y := 1 + rng.Intn(n-1)
 		if x == y || set.Nodes[x] == set.Nodes[y] {
@@ -191,16 +218,24 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
 			return nil, err
 		}
-		rt := float64(model.RT(sch))
+		tm.RecomputeFrom(sch, model.NodeID(x))
+		tm.RecomputeFrom(sch, model.NodeID(y))
+		rt := float64(tm.RT)
 		accept := rt <= cur || rng.Float64() < math.Exp((cur-rt)/temp)
 		if accept {
 			cur = rt
 			if rt < bestRT {
 				bestRT = rt
-				best = sch.Clone()
+				if err := best.CopyFrom(sch); err != nil {
+					return nil, err
+				}
 			}
-		} else if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
-			return nil, err
+		} else {
+			if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
+				return nil, err
+			}
+			tm.RecomputeFrom(sch, model.NodeID(x))
+			tm.RecomputeFrom(sch, model.NodeID(y))
 		}
 	}
 	if err := best.Validate(); err != nil {

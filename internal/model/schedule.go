@@ -238,6 +238,21 @@ func (t *Schedule) Clone() *Schedule {
 	return c
 }
 
+// CopyFrom makes t a structural copy of o, reusing t's slices so repeated
+// snapshots (e.g. annealing's incumbent-best bookkeeping) allocate only
+// when a children list outgrows its previous capacity. Both schedules must
+// be sized for the same instance; t keeps its own Set pointer.
+func (t *Schedule) CopyFrom(o *Schedule) error {
+	if len(t.parent) != len(o.parent) {
+		return fmt.Errorf("model: CopyFrom: schedule sized for %d nodes, source has %d", len(t.parent), len(o.parent))
+	}
+	copy(t.parent, o.parent)
+	for v, kids := range o.children {
+		t.children[v] = append(t.children[v][:0], kids...)
+	}
+	return nil
+}
+
 // Equal reports whether two schedules have identical tree structure
 // including children order.
 func (t *Schedule) Equal(o *Schedule) bool {

@@ -1,6 +1,11 @@
 package model
 
-// Times holds the timing of a schedule under the receive-send model.
+// Times holds the timing of a schedule under the receive-send model. The
+// zero value is ready for use with ComputeTimesInto / RTInto, which reuse
+// its buffers across calls; RecomputeFrom additionally maintains the
+// completion times incrementally under local schedule edits, so heuristic
+// search loops can evaluate a move in time proportional to the affected
+// subtree instead of the whole tree, without allocating.
 type Times struct {
 	// Delivery[v] is d(v), the time the message is delivered to v. The
 	// source has Delivery[0] = 0 by convention.
@@ -13,6 +18,17 @@ type Times struct {
 	// RT is the reception completion time max_v r(v), the objective the
 	// paper minimizes.
 	RT int64
+
+	// Incremental state: two flat complete binary max-trees over node IDs
+	// (delivery and reception), built lazily by the first RecomputeFrom and
+	// updated in O(log n) per touched node thereafter, so DT/RT are read
+	// off the roots instead of rescanned. A full recompute invalidates
+	// them; all times are non-negative, so the zero padding of IDs beyond
+	// n never wins a max.
+	segD, segR []int64
+	segN       int
+	segValid   bool
+	stack      []NodeID // DFS scratch shared by the full and subtree walks
 }
 
 // ComputeTimes evaluates the model recurrences on a schedule, assuming (as
@@ -25,12 +41,27 @@ type Times struct {
 // The schedule must be structurally valid (see Schedule.Validate); nodes
 // not attached yet are reported with zero times.
 func ComputeTimes(t *Schedule) Times {
+	var tm Times
+	ComputeTimesInto(t, &tm)
+	return tm
+}
+
+// ComputeTimesInto is ComputeTimes writing into tm, reusing its buffers:
+// after the first call at a given instance size it allocates nothing.
+func ComputeTimesInto(t *Schedule, tm *Times) {
 	n := len(t.Set.Nodes)
-	tm := Times{Delivery: make([]int64, n), Reception: make([]int64, n)}
+	tm.Delivery = resizeInt64(tm.Delivery, n)
+	tm.Reception = resizeInt64(tm.Reception, n)
+	for i := range tm.Delivery {
+		tm.Delivery[i] = 0
+		tm.Reception[i] = 0
+	}
+	tm.DT, tm.RT = 0, 0
+	tm.segValid = false
 	L := t.Set.Latency
 	// Iterative DFS from the root; children depend only on the parent's
 	// reception time.
-	stack := []NodeID{0}
+	stack := append(tm.stack[:0], 0)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -49,11 +80,132 @@ func ComputeTimes(t *Schedule) Times {
 			stack = append(stack, w)
 		}
 	}
-	return tm
+	tm.stack = stack[:0]
+}
+
+// RecomputeFrom updates tm after a local edit of the schedule: it
+// re-derives dirty's delivery from its parent's current reception and
+// child rank, re-walks only dirty's subtree, and refreshes DT and RT from
+// the max-trees — O(m log n) for an m-node subtree instead of a full-tree
+// walk. tm must hold valid times for every node outside dirty's subtree
+// (from a prior ComputeTimesInto or RecomputeFrom on the same schedule).
+//
+// A move that changes several positions (a swap, a leaf relocation) is
+// handled by one RecomputeFrom per affected subtree root. Any call order
+// converges: each call re-reads the parents' current receptions, and a
+// root whose parent was still stale is always nested inside another dirty
+// root's subtree, whose own call rewrites it.
+//
+// A detached destination (RemoveLeaf'd but not yet reinserted) gets zero
+// times, matching the ComputeTimes convention.
+func (tm *Times) RecomputeFrom(t *Schedule, dirty NodeID) {
+	n := len(t.Set.Nodes)
+	if len(tm.Delivery) != n || len(tm.Reception) != n {
+		// Different instance size: incremental state is meaningless.
+		ComputeTimesInto(t, tm)
+		return
+	}
+	if !tm.segValid {
+		tm.buildSeg()
+	}
+	L := t.Set.Latency
+	switch {
+	case dirty == 0:
+		tm.setNode(0, 0, 0)
+	case t.parent[dirty] == -1:
+		tm.setNode(dirty, 0, 0)
+		tm.DT, tm.RT = tm.segD[1], tm.segR[1]
+		return // detached nodes are leaves; nothing below to re-walk
+	default:
+		p := t.parent[dirty]
+		d := tm.Reception[p] + int64(t.ChildRank(dirty))*t.Set.Nodes[p].Send + L
+		tm.setNode(dirty, d, d+t.Set.Nodes[dirty].Recv)
+	}
+	stack := append(tm.stack[:0], dirty)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rv := tm.Reception[v]
+		sv := t.Set.Nodes[v].Send
+		for i, w := range t.children[v] {
+			d := rv + int64(i+1)*sv + L
+			tm.setNode(w, d, d+t.Set.Nodes[w].Recv)
+			stack = append(stack, w)
+		}
+	}
+	tm.stack = stack[:0]
+	tm.DT, tm.RT = tm.segD[1], tm.segR[1]
+}
+
+// setNode writes one node's times into the arrays and both max-trees.
+func (tm *Times) setNode(v NodeID, d, r int64) {
+	tm.Delivery[v] = d
+	tm.Reception[v] = r
+	i := tm.segN + int(v)
+	tm.segD[i] = d
+	tm.segR[i] = r
+	for i >>= 1; i >= 1; i >>= 1 {
+		dl, dr := tm.segD[2*i], tm.segD[2*i+1]
+		if dr > dl {
+			dl = dr
+		}
+		tm.segD[i] = dl
+		rl, rr := tm.segR[2*i], tm.segR[2*i+1]
+		if rr > rl {
+			rl = rr
+		}
+		tm.segR[i] = rl
+	}
+}
+
+// buildSeg (re)builds the max-trees from the current arrays.
+func (tm *Times) buildSeg() {
+	n := len(tm.Delivery)
+	segN := 1
+	for segN < n {
+		segN <<= 1
+	}
+	tm.segD = resizeInt64(tm.segD, 2*segN)
+	tm.segR = resizeInt64(tm.segR, 2*segN)
+	copy(tm.segD[segN:], tm.Delivery)
+	copy(tm.segR[segN:], tm.Reception)
+	for i := segN + n; i < 2*segN; i++ {
+		tm.segD[i] = 0
+		tm.segR[i] = 0
+	}
+	for i := segN - 1; i >= 1; i-- {
+		dl, dr := tm.segD[2*i], tm.segD[2*i+1]
+		if dr > dl {
+			dl = dr
+		}
+		tm.segD[i] = dl
+		rl, rr := tm.segR[2*i], tm.segR[2*i+1]
+		if rr > rl {
+			rl = rr
+		}
+		tm.segR[i] = rl
+	}
+	tm.segN = segN
+	tm.segValid = true
+}
+
+// resizeInt64 returns s with length n, reusing capacity when possible.
+func resizeInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
 }
 
 // RT is shorthand for ComputeTimes(t).RT.
 func RT(t *Schedule) int64 { return ComputeTimes(t).RT }
+
+// RTInto computes the schedule's reception completion time, reusing tm's
+// buffers; the allocation-free form of RT for evaluation loops.
+func RTInto(t *Schedule, tm *Times) int64 {
+	ComputeTimesInto(t, tm)
+	return tm.RT
+}
 
 // DT is shorthand for ComputeTimes(t).DT.
 func DT(t *Schedule) int64 { return ComputeTimes(t).DT }

@@ -29,16 +29,25 @@ type Config struct {
 	Workers int
 	// MaxJobs bounds the sweep job store (default 64).
 	MaxJobs int
+	// TableCacheSize is the number of materialized DP tables kept warm
+	// (default 4). Tables are whole-network precomputations, so the cache
+	// is intentionally tiny.
+	TableCacheSize int
+	// TableWorkers is the default fill parallelism for /v1/table builds;
+	// 0 selects GOMAXPROCS.
+	TableWorkers int
 }
 
 // Server is the hnowd scheduling service: a plan cache over the
 // algorithm registry, plus asynchronous sweep jobs. Create with New,
 // mount Handler on an http.Server, and Close on shutdown.
 type Server struct {
-	cache  *Cache
-	jobs   *jobStore
-	mux    *http.ServeMux
-	cancel context.CancelFunc
+	cache        *Cache
+	tables       *tableCache
+	tableWorkers int
+	jobs         *jobStore
+	mux          *http.ServeMux
+	cancel       context.CancelFunc
 }
 
 // New builds a Server. The jobs it launches stop when Close is called.
@@ -49,18 +58,24 @@ func New(cfg Config) *Server {
 	if cfg.CacheShards <= 0 {
 		cfg.CacheShards = 16
 	}
+	if cfg.TableCacheSize <= 0 {
+		cfg.TableCacheSize = 4
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cache:  NewCache(cfg.CacheSize, cfg.CacheShards),
-		jobs:   newJobStore(ctx, cfg.MaxJobs, cfg.Workers),
-		mux:    http.NewServeMux(),
-		cancel: cancel,
+		cache:        NewCache(cfg.CacheSize, cfg.CacheShards),
+		tables:       newTableCache(cfg.TableCacheSize),
+		tableWorkers: cfg.TableWorkers,
+		jobs:         newJobStore(ctx, cfg.MaxJobs, cfg.Workers),
+		mux:          http.NewServeMux(),
+		cancel:       cancel,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/render", s.handleRender)
+	s.mux.HandleFunc("POST /v1/table", s.handleTable)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepStart)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
@@ -290,7 +305,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Optimal {
-		if opt, err := exact.OptimalRT(canon); err == nil {
+		// A warm DP table covering this network answers in constant time
+		// (Theorem 2's closing remark); otherwise fall back to a one-off
+		// DP solve.
+		if opt, ok := s.tables.lookupSet(canon); ok {
+			resp.Optimal = &opt
+		} else if opt, err := exact.OptimalRT(canon); err == nil {
 			resp.Optimal = &opt
 		}
 	}

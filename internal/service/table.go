@@ -1,0 +1,244 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+)
+
+var (
+	expTableBuilds = expvar.NewInt("hnowd.table.builds")
+	expTableHits   = expvar.NewInt("hnowd.table.hits")
+)
+
+// TableRequest asks the service to materialize (or reuse) the full optimal
+// multicast table for the set's network — the constant-time lookup
+// structure of Theorem 2's closing remark. The set describes the network:
+// its latency, its source, and the full destination inventory the table
+// should cover.
+type TableRequest struct {
+	Set json.RawMessage `json:"set"`
+	// Parallelism caps the fill worker pool (0 = server default).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// TableResponse is the reply to POST /v1/table.
+type TableResponse struct {
+	// Key is the network key the table is cached under.
+	Key string `json:"key"`
+	// Cache is "hit" or "miss" ("miss" means the table was built now).
+	Cache string `json:"cache"`
+	K     int    `json:"k"`
+	// States is the number of precomputed DP states.
+	States int64 `json:"states"`
+	// Counts is the per-type destination inventory the table covers.
+	Counts []int `json:"counts"`
+	// OptimalRT is the optimal reception completion time of the full
+	// multicast (the source to every destination in the set).
+	OptimalRT int64 `json:"optimal_rt"`
+	// BuildMillis is the wall-clock fill time; 0 on a cache hit.
+	BuildMillis int64 `json:"build_ms"`
+}
+
+// networkKey identifies a network for table caching: latency plus the
+// multiset of node types with destination counts. The source's type is in
+// the inventory (possibly with destination count 0) but is otherwise not
+// part of the key — a table covers every source type, so warming the same
+// inventory from differently-typed sources reuses one table. Permutations
+// of the same inventory collide.
+func networkKey(latency int64, types []exact.Type, counts []int) string {
+	var b strings.Builder
+	b.Grow(24 + 16*len(types))
+	b.WriteString("L=")
+	b.WriteString(strconv.FormatInt(latency, 10))
+	for j, t := range types {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(t.Send, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(t.Recv, 10))
+		b.WriteByte('x')
+		b.WriteString(strconv.Itoa(counts[j]))
+	}
+	return b.String()
+}
+
+// tableCache is a small LRU of materialized DP tables. Tables are orders
+// of magnitude bigger than plans, so the cache holds a handful of whole
+// networks rather than thousands of entries; per-key in-flight tracking
+// makes concurrent warms of the same network build once, while distinct
+// networks build in parallel.
+// maxConcurrentTableBuilds bounds the table fills in flight across keys.
+// One table can reach ~1 GiB at the MaxStates limit, so unlike the plan
+// cache the memory risk is per-build, not per-entry: distinct networks
+// build concurrently up to this cap and queue beyond it.
+const maxConcurrentTableBuilds = 2
+
+type tableCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  []tableEntry // front = most recently used
+	building map[string]chan struct{}
+	buildSem chan struct{}
+}
+
+type tableEntry struct {
+	key   string
+	table *exact.Table
+}
+
+func newTableCache(capacity int) *tableCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &tableCache{
+		cap:      capacity,
+		building: make(map[string]chan struct{}),
+		buildSem: make(chan struct{}, maxConcurrentTableBuilds),
+	}
+}
+
+// get returns the cached table for key, refreshing its recency.
+func (c *tableCache) get(key string) (*exact.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(key)
+}
+
+func (c *tableCache) getLocked(key string) (*exact.Table, bool) {
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			return e.table, true
+		}
+	}
+	return nil, false
+}
+
+func (c *tableCache) put(key string, t *exact.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = tableEntry{key: key, table: t}
+			return
+		}
+	}
+	if len(c.entries) < c.cap {
+		c.entries = append(c.entries, tableEntry{})
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = tableEntry{key: key, table: t}
+}
+
+// lookupSet answers a multicast from any cached table that covers it (the
+// constant-time path for /v1/compare's exact optimum).
+func (c *tableCache) lookupSet(set *model.MulticastSet) (int64, bool) {
+	c.mu.Lock()
+	tables := make([]*exact.Table, len(c.entries))
+	for i, e := range c.entries {
+		tables[i] = e.table
+	}
+	c.mu.Unlock()
+	for _, t := range tables {
+		if rt, ok := t.LookupSet(set); ok {
+			expTableHits.Add(1)
+			return rt, true
+		}
+	}
+	return 0, false
+}
+
+// getOrBuild returns the table for the analyzed instance, building it
+// (with the given fill parallelism) at most once per key: concurrent
+// warms of the same network wait for the in-flight build, while distinct
+// networks build in parallel.
+func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table, string, bool, time.Duration, error) {
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
+	for {
+		c.mu.Lock()
+		if t, ok := c.getLocked(key); ok {
+			c.mu.Unlock()
+			expTableHits.Add(1)
+			return t, key, true, 0, nil
+		}
+		if ch, ok := c.building[key]; ok {
+			c.mu.Unlock()
+			<-ch // someone else is building this network; wait and re-check
+			continue
+		}
+		// The cache re-check and builder registration share one critical
+		// section, so a build finishing between them cannot be redone.
+		ch := make(chan struct{})
+		c.building[key] = ch
+		c.mu.Unlock()
+
+		c.buildSem <- struct{}{} // bound concurrent distinct-network builds
+		start := time.Now()
+		t, err := exact.BuildTableParallel(inst.Set, workers)
+		<-c.buildSem
+		if err == nil {
+			expTableBuilds.Add(1)
+			c.put(key, t)
+		}
+		c.mu.Lock()
+		delete(c.building, key)
+		c.mu.Unlock()
+		close(ch) // waiters re-check the cache (and rebuild on our failure)
+		if err != nil {
+			return nil, key, false, 0, err
+		}
+		return t, key, false, time.Since(start), nil
+	}
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	var req TableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := decodeSet(req.Set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon := Canonicalize(set)
+	inst, err := exact.Analyze(canon)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	workers := req.Parallelism
+	if workers <= 0 {
+		workers = s.tableWorkers
+	}
+	table, key, hit, buildTime, err := s.tables.getOrBuild(inst, workers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	opt, err := table.Lookup(inst.SourceType, inst.Counts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TableResponse{
+		Key:         key,
+		Cache:       cacheLabel(hit),
+		K:           table.K(),
+		States:      table.States(),
+		Counts:      table.Counts(),
+		OptimalRT:   opt,
+		BuildMillis: buildTime.Milliseconds(),
+	})
+}

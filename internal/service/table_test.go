@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+)
+
+func tableTestSet(t *testing.T) *model.MulticastSet {
+	t.Helper()
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestTableEndpointBuildAndHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := tableTestSet(t)
+
+	resp, body := post(t, ts.URL+"/v1/table", TableRequest{Set: rawSet(t, set), Parallelism: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var r1 TableResponse
+	if err := json.Unmarshal(body, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cache != "miss" {
+		t.Errorf("first build reported cache %q", r1.Cache)
+	}
+	if r1.K != 2 || r1.OptimalRT != 8 {
+		t.Errorf("table response k=%d optimal=%d, want k=2 optimal=8", r1.K, r1.OptimalRT)
+	}
+	if r1.States <= 0 {
+		t.Errorf("states = %d", r1.States)
+	}
+
+	// Same network, destinations permuted: must hit the cached table.
+	permuted := set.Clone()
+	permuted.Nodes[1], permuted.Nodes[4] = permuted.Nodes[4], permuted.Nodes[1]
+	resp, body = post(t, ts.URL+"/v1/table", TableRequest{Set: rawSet(t, permuted)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var r2 TableResponse
+	if err := json.Unmarshal(body, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cache != "hit" {
+		t.Errorf("permuted request reported cache %q, want hit", r2.Cache)
+	}
+	if r2.Key != r1.Key || r2.OptimalRT != r1.OptimalRT {
+		t.Errorf("permuted response differs: %+v vs %+v", r2, r1)
+	}
+}
+
+func TestTableEndpointRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL+"/v1/table", TableRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing set: HTTP %d", resp.StatusCode)
+	}
+	bad := json.RawMessage(`{"latency": 0, "nodes": [{"send":1,"recv":1}]}`)
+	resp, _ = post(t, ts.URL+"/v1/table", TableRequest{Set: bad})
+	if resp.StatusCode == http.StatusOK {
+		t.Error("invalid latency accepted")
+	}
+}
+
+func TestCompareUsesWarmTable(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	set := tableTestSet(t)
+
+	// Warm the network table, then compare a sub-multicast of the same
+	// network: the exact optimum must come from the table (constant-time),
+	// not a fresh DP.
+	resp, body := post(t, ts.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	sub := set.Clone()
+	sub.Nodes = sub.Nodes[:3] // source + two fast destinations
+	resp, body = post(t, ts.URL+"/v1/compare", CompareRequest{Set: rawSet(t, sub), Optimal: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var cr CompareResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Optimal == nil {
+		t.Fatal("compare omitted the optimal value")
+	}
+	want, err := exact.OptimalRT(Canonicalize(sub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *cr.Optimal != want {
+		t.Errorf("optimal = %d, want %d", *cr.Optimal, want)
+	}
+	if got, ok := svc.tables.lookupSet(Canonicalize(sub)); !ok || got != want {
+		t.Errorf("warm table lookup = (%d, %v), want (%d, true)", got, ok, want)
+	}
+}
+
+func TestTableCacheEviction(t *testing.T) {
+	c := newTableCache(2)
+	mk := func(latency int64) *exact.Table {
+		set, err := model.NewMulticastSet(latency, model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := exact.BuildTable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	c.put("a", mk(1))
+	c.put("b", mk(2))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted prematurely")
+	}
+	c.put("c", mk(3)) // evicts b (least recently used after the get of a)
+	if _, ok := c.get("b"); ok {
+		t.Error("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a lost")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c lost")
+	}
+}
+
+func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
+	c := newTableCache(2)
+	set, err := model.NewMulticastSet(1,
+		model.Node{Send: 2, Recv: 3},
+		model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1}, model.Node{Send: 2, Recv: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := exact.Analyze(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := expTableBuilds.Value()
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tab, _, hit, _, err := c.getOrBuild(inst, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tab == nil {
+				t.Error("nil table")
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := expTableBuilds.Value() - before; got != 1 {
+		t.Errorf("concurrent warms built %d tables, want 1", got)
+	}
+	if hits.Load() != 7 {
+		t.Errorf("%d of 8 warms were hits, want 7", hits.Load())
+	}
+	if len(c.entries) != 1 {
+		t.Errorf("cache holds %d entries, want 1", len(c.entries))
+	}
+}
+
+func TestNetworkKeySourceTypeInvariant(t *testing.T) {
+	// The same inventory multicast from differently-typed sources must
+	// share one table.
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	a, err := model.NewMulticastSet(1, slow, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.NewMulticastSet(1, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := exact.Analyze(Canonicalize(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := exact.Analyze(Canonicalize(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := networkKey(ia.Set.Latency, ia.Types, ia.Counts)
+	kb := networkKey(ib.Set.Latency, ib.Types, ib.Counts)
+	if ka != kb {
+		t.Errorf("keys differ for source-type variants:\n  %s\n  %s", ka, kb)
+	}
+}
