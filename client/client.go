@@ -123,7 +123,10 @@ func (c *Client) Compare(ctx context.Context, set *model.MulticastSet, seed int6
 // WarmTable materializes (or reuses) the full optimal-schedule DP table
 // for the set's network, after which exact optima for any multicast drawn
 // from the network are constant-time lookups. parallelism caps the fill
-// workers (0 = server default).
+// workers (0 = server default). The response's Cache field reports where
+// the table came from — "hit" (in memory), "miss" (built now), or "disk"
+// (reloaded from the server's -table-dir spill, e.g. after a restart; see
+// TableResponse.FromDisk).
 func (c *Client) WarmTable(ctx context.Context, set *model.MulticastSet, parallelism int) (*service.TableResponse, error) {
 	raw, err := encodeSet(set)
 	if err != nil {

@@ -211,6 +211,50 @@ func TestEndToEndSweepMatchesDirectBatch(t *testing.T) {
 	}
 }
 
+// TestEndToEndWarmTableFromDisk restarts the daemon between two warms of
+// the same network, sharing a -table-dir: the second daemon must report
+// the table as warm-from-disk through the typed client.
+func TestEndToEndWarmTableFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc1 := service.New(service.Config{TableDir: dir})
+	ts1 := httptest.NewServer(svc1.Handler())
+	c1 := client.New(ts1.URL)
+	r1, err := c1.WarmTable(ctx, set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FromDisk() || r1.Cache != "miss" {
+		t.Fatalf("first warm: %+v", r1)
+	}
+	ts1.Close()
+	svc1.Close()
+
+	svc2 := service.New(service.Config{TableDir: dir})
+	ts2 := httptest.NewServer(svc2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		svc2.Close()
+	})
+	r2, err := client.New(ts2.URL).WarmTable(ctx, set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.FromDisk() {
+		t.Errorf("post-restart warm reported cache %q, want disk", r2.Cache)
+	}
+	if r2.OptimalRT != r1.OptimalRT || r2.Key != r1.Key || r2.States != r1.States {
+		t.Errorf("post-restart table differs: %+v vs %+v", r2, r1)
+	}
+}
+
 func TestEndToEndWarmTable(t *testing.T) {
 	_, cl, _ := startServer(t)
 	ctx := context.Background()

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hnowd -addr :8080 -cache 4096 -workers 8
+//	hnowd -addr :8080 -cache 4096 -workers 8 -table-dir /var/lib/hnowd/tables
 //
 // Endpoints:
 //
@@ -39,6 +39,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 64, "maximum retained sweep jobs")
 	tableCache := flag.Int("table-cache", 4, "materialized DP tables kept warm")
 	tableWorkers := flag.Int("table-workers", 0, "default /v1/table fill parallelism (0 = GOMAXPROCS)")
+	tableDir := flag.String("table-dir", "", "persist built DP tables to this directory and reload them across restarts (\"\" = off)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -48,6 +49,7 @@ func main() {
 		MaxJobs:        *maxJobs,
 		TableCacheSize: *tableCache,
 		TableWorkers:   *tableWorkers,
+		TableDir:       *tableDir,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,11 +1,15 @@
 // Command hnowtable precomputes the Theorem 2 optimal-schedule table for a
-// network and answers optimal-multicast queries in constant time.
+// network and answers optimal-multicast queries in constant time. Built
+// tables can be persisted in the daemon's spill format and reloaded, so a
+// CLI pre-build can feed a daemon started with the same -table-dir.
 //
 // Usage:
 //
 //	hnowgen -n 40 -k 3 | hnowtable                      # table stats
 //	hnowtable -set c.json -query 1:3,1                  # T(source type 1; 3 of type 0, 1 of type 1)
 //	hnowtable -set c.json -all                          # dump every state
+//	hnowtable -set c.json -save tables/                 # pre-build for `hnowd -table-dir tables/`
+//	hnowtable -load tables/f00.hnowtbl -query 1:3,1     # query a persisted table
 package main
 
 import (
@@ -13,10 +17,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/exact"
+	"repro/internal/service"
 	"repro/internal/trace"
 )
 
@@ -24,29 +30,56 @@ func main() {
 	setPath := flag.String("set", "-", "instance JSON ('-' = stdin); its nodes define the network inventory")
 	query := flag.String("query", "", "optimal-time query 'srcType:c0,c1,...' (counts per type)")
 	all := flag.Bool("all", false, "dump the full table")
+	save := flag.String("save", "", "persist the built table: a file path, or an existing directory (e.g. a daemon -table-dir) to use the canonical spill file name")
+	load := flag.String("load", "", "load a persisted table instead of building (-set is ignored)")
 	flag.Parse()
 
-	data, err := readInput(*setPath)
-	if err != nil {
-		fail(err)
+	var table *exact.Table
+	if *load != "" {
+		var err error
+		table, err = exact.ReadTableFile(*load)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded %s: %d distinct types, latency %d\n", *load, table.K(), table.Latency())
+		for i, ty := range table.Types() {
+			fmt.Printf("  type %d: send=%d recv=%d (x%d destinations)\n", i, ty.Send, ty.Recv, table.Counts()[i])
+		}
+	} else {
+		data, err := readInput(*setPath)
+		if err != nil {
+			fail(err)
+		}
+		set, err := trace.UnmarshalSetJSON(data)
+		if err != nil {
+			fail(err)
+		}
+		inst, err := exact.Analyze(set)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("network: %d nodes, %d distinct types, latency %d\n", len(set.Nodes), inst.K(), set.Latency)
+		for i, ty := range inst.Types {
+			fmt.Printf("  type %d: send=%d recv=%d (x%d destinations)\n", i, ty.Send, ty.Recv, inst.Counts[i])
+		}
+		table, err = exact.BuildTable(set)
+		if err != nil {
+			fail(err)
+		}
 	}
-	set, err := trace.UnmarshalSetJSON(data)
-	if err != nil {
-		fail(err)
+	fmt.Printf("states precomputed: %d (%d of %d source planes stored after dedup)\n",
+		table.States(), table.Planes(), table.K())
+
+	if *save != "" {
+		path := *save
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path = filepath.Join(path, service.TableFileName(table))
+		}
+		if err := exact.WriteTableFile(path, table); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved: %s\n", path)
 	}
-	inst, err := exact.Analyze(set)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("network: %d nodes, %d distinct types, latency %d\n", len(set.Nodes), inst.K(), set.Latency)
-	for i, ty := range inst.Types {
-		fmt.Printf("  type %d: send=%d recv=%d (x%d destinations)\n", i, ty.Send, ty.Recv, inst.Counts[i])
-	}
-	table, err := exact.BuildTable(set)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("states precomputed: %d\n", table.States())
 
 	if *query != "" {
 		src, counts, err := parseQuery(*query, table.K())

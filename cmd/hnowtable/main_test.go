@@ -1,6 +1,80 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// TestSavedTableFeedsDaemon is the CLI→daemon hand-off: a table saved
+// under the canonical spill name (what `hnowtable -save <dir>` writes)
+// must be picked up from disk by a daemon started with -table-dir on the
+// same directory, with no DP build.
+func TestSavedTableFeedsDaemon(t *testing.T) {
+	fast := model.Node{Send: 1, Recv: 1}
+	slow := model.Node{Send: 2, Recv: 3}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The daemon canonicalizes requests before keying; mirror it so the
+	// CLI-built table lands under the name the daemon will look up.
+	canon := service.Canonicalize(set)
+	table, err := exact.BuildTable(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, service.TableFileName(table))
+	if err := exact.WriteTableFile(path, table); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := service.New(service.Config{TableDir: dir})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	setJSON, err := trace.MarshalSetJSON(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.TableRequest{Set: setJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/table", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr service.TableResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if !tr.FromDisk() {
+		t.Errorf("daemon reported cache %q for a CLI-saved table, want %q", tr.Cache, service.TableCacheDisk)
+	}
+	want, err := exact.OptimalRT(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OptimalRT != want {
+		t.Errorf("daemon served optimal %d from saved table, want %d", tr.OptimalRT, want)
+	}
+}
 
 func TestParseQuery(t *testing.T) {
 	src, counts, err := parseQuery("1:3,4", 2)

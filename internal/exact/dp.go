@@ -61,7 +61,17 @@ type DP struct {
 	strides []int64
 	prod    int64 // product of dims
 
-	value  []int64  // -1 = unknown; index = src*prod + encoded count vector
+	// planeOf maps a source type to its plane: the recurrence depends on
+	// the source only through S(s) (both branches add exactly S(s); every
+	// other term is a function of the reserved type l), so source types
+	// with equal Send overhead have bit-identical planes and share one.
+	// Types are sorted by (Send, Recv), so equal-Send runs are contiguous
+	// and planeOf is non-decreasing. planeSrc[p] is a representative
+	// source type of plane p (the first of its run).
+	planeOf  []int32
+	planeSrc []int
+
+	value  []int64  // -1 = unknown; index = planeOf[src]*prod + encoded count vector
 	choice []uint64 // packed (l, yState) for reconstruction
 	// pmin[idx] is the prefix minimum of value along the pivot axis:
 	// min over 0 <= t <= v_pivot of T(s, v - t*e_pivot). Maintained in
@@ -111,7 +121,7 @@ func New(latency int64, types []Type, counts []int) (*DP, error) {
 		return nil, err
 	}
 	k := len(dp.types)
-	total := int64(k) * dp.prod
+	total := int64(len(dp.planeSrc)) * dp.prod
 	dp.value = make([]int64, total)
 	for i := range dp.value {
 		dp.value[i] = unknown
@@ -179,6 +189,15 @@ func newGeometry(latency int64, types []Type, counts []int) (*DP, error) {
 	}
 	if total := int64(k) * dp.prod; total > MaxStates {
 		return nil, fmt.Errorf("exact: state space too large: %d states (> %d)", total, MaxStates)
+	}
+	dp.planeOf = make([]int32, k)
+	for j := range dp.types {
+		if j > 0 && dp.types[j].Send == dp.types[j-1].Send {
+			dp.planeOf[j] = dp.planeOf[j-1]
+			continue
+		}
+		dp.planeOf[j] = int32(len(dp.planeSrc))
+		dp.planeSrc = append(dp.planeSrc, j)
 	}
 	return dp, nil
 }
@@ -256,8 +275,15 @@ func (dp *DP) Types() []Type { return append([]Type(nil), dp.types...) }
 // Counts returns the per-type destination counts the DP was built for.
 func (dp *DP) Counts() []int { return append([]int(nil), dp.counts...) }
 
-// States returns the total number of DP states.
+// States returns the number of stored DP states. Source types with equal
+// Send overhead share one plane (see planeOf), so this is
+// Planes() * prod(counts[j]+1), not K() * prod(counts[j]+1).
 func (dp *DP) States() int64 { return int64(len(dp.value)) }
+
+// Planes returns the number of distinct source planes after dedup: the
+// number of distinct Send overheads among the types. It is at most K(),
+// and the table memory shrinks by exactly K()/Planes().
+func (dp *DP) Planes() int { return len(dp.planeSrc) }
 
 // Computed returns how many states have been evaluated so far.
 func (dp *DP) Computed() int64 {
@@ -286,7 +312,7 @@ func (dp *DP) decodeVec(state int64, out []int) {
 }
 
 func (dp *DP) stateIndex(src int, vecState int64) int64 {
-	return int64(src)*dp.prod + vecState
+	return int64(dp.planeOf[src])*dp.prod + vecState
 }
 
 // Optimal returns T(srcType, counts): the minimum reception completion time
@@ -344,8 +370,8 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 	S, L := dp.types[s].Send, dp.latency
 	p := dp.pivot
 	sp := dp.strides[p]
-	bVal := dp.value[int64(s)*dp.prod:]
-	bPmin := dp.pmin[int64(s)*dp.prod:]
+	bVal := dp.value[int64(dp.planeOf[s])*dp.prod:]
+	bPmin := dp.pmin[int64(dp.planeOf[s])*dp.prod:]
 	best := inf
 	var bestChoice uint64
 	for l := 0; l < k; l++ {
@@ -355,8 +381,8 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 		// Reserve the node of type l that receives first.
 		baseState := vecState - dp.strides[l]
 		addA := S + L + dp.types[l].Recv
-		aVal := dp.value[int64(l)*dp.prod:]
-		aPmin := dp.pmin[int64(l)*dp.prod:]
+		aVal := dp.value[int64(dp.planeOf[l])*dp.prod:]
+		aPmin := dp.pmin[int64(dp.planeOf[l])*dp.prod:]
 		cp := vec[p]
 		if p == l {
 			cp--
@@ -485,14 +511,13 @@ func (dp *DP) fillBox(limit []int) {
 // were written, so a violation surfacing in layer t disables pruning from
 // layer t+1 without invalidating anything already computed.
 func (dp *DP) fillStates(order []int32, layerOff []int32) {
-	k := len(dp.types)
 	vec, y := dp.scratchVec, dp.scratchY
 	for t := 0; t < len(layerOff)-1; t++ {
 		pruned := dp.monotonePivot.Load()
 		for i := layerOff[t]; i < layerOff[t+1]; i++ {
 			vecState := int64(order[i])
 			dp.decodeVec(vecState, vec)
-			for s := 0; s < k; s++ {
+			for _, s := range dp.planeSrc {
 				dp.fillOne(s, t, vecState, vec, y, pruned)
 			}
 		}
@@ -505,7 +530,7 @@ func (dp *DP) fillStates(order []int32, layerOff []int32) {
 // decoded vecState; y is odometer scratch. Shared by the sequential and
 // parallel fills so their results stay bit-identical by construction.
 func (dp *DP) fillOne(s, t int, vecState int64, vec, y []int, pruned bool) {
-	idx := int64(s)*dp.prod + vecState
+	idx := dp.stateIndex(s, vecState)
 	if dp.value[idx] != unknown {
 		return
 	}
@@ -571,7 +596,7 @@ func (dp *DP) FillAllParallel(workers int) {
 			vecState := int64(dp.order[off+i])
 			sc := &scr[w]
 			dp.decodeVec(vecState, sc.vec)
-			for s := 0; s < k; s++ {
+			for _, s := range dp.planeSrc {
 				dp.fillOne(s, t, vecState, sc.vec, sc.y, pruned)
 			}
 		})

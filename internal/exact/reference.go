@@ -15,8 +15,17 @@ import "repro/internal/model"
 type RefDP struct {
 	dp *DP // geometry only (sorted types, dims, strides); no solver tables
 	// value is the memo; a RefDP never shares results with the iterative
-	// solver it is checked against.
+	// solver it is checked against. Unlike the iterative solver, the memo
+	// keeps one full plane per source type (no equal-Send plane sharing),
+	// so it doubles as the non-dedup'd reference fill the store and dedup
+	// differential tests compare against.
 	value []int64
+}
+
+// index is the reference's own state indexing: one full plane per source
+// type, deliberately NOT the deduplicated planeOf indexing of DP.
+func (r *RefDP) index(s int, vecState int64) int64 {
+	return int64(s)*r.dp.prod + vecState
 }
 
 // NewReference creates a reference DP with the same validation and type
@@ -54,7 +63,7 @@ func (r *RefDP) FillAll() {
 		}
 		r.solve(s, vec)
 		for st := int64(0); st < dp.prod; st++ {
-			if r.value[dp.stateIndex(s, st)] == unknown {
+			if r.value[r.index(s, st)] == unknown {
 				dp.decodeVec(st, vec)
 				r.solve(s, vec)
 			}
@@ -64,7 +73,7 @@ func (r *RefDP) FillAll() {
 
 // Value returns the memoized value for a state, or unknown.
 func (r *RefDP) Value(srcType int, vecState int64) int64 {
-	return r.value[r.dp.stateIndex(srcType, vecState)]
+	return r.value[r.index(srcType, vecState)]
 }
 
 // solve is the seed recursive evaluation of the Lemma 4 recurrence with
@@ -73,7 +82,7 @@ func (r *RefDP) Value(srcType int, vecState int64) int64 {
 func (r *RefDP) solve(s int, vec []int) int64 {
 	dp := r.dp
 	vecState := dp.encodeVec(vec)
-	idx := dp.stateIndex(s, vecState)
+	idx := r.index(s, vecState)
 	if v := r.value[idx]; v != unknown {
 		return v
 	}

@@ -113,10 +113,11 @@ var _ model.Scheduler = Solver{}
 
 // Table is a fully materialized optimal-schedule table for a network: the
 // constant-time lookup structure Theorem 2's closing remark describes. It
-// is safe for concurrent lookups once built.
+// is safe for concurrent lookups once built. Tables come from BuildTable
+// (a fresh DP fill) or from ReadTable (a persisted fill loaded back from
+// disk); the two are bit-identical by construction.
 type Table struct {
-	dp   *DP
-	inst *Instance
+	dp *DP
 }
 
 // BuildTable analyzes the set, runs the DP over every state and returns
@@ -138,7 +139,7 @@ func BuildTableParallel(set *model.MulticastSet, workers int) (*Table, error) {
 		return nil, err
 	}
 	dp.FillAllParallel(workers)
-	return &Table{dp: dp, inst: inst}, nil
+	return &Table{dp: dp}, nil
 }
 
 // K returns the number of types in the table's network.
@@ -147,8 +148,18 @@ func (t *Table) K() int { return t.dp.K() }
 // Counts returns the per-type destination counts the table covers.
 func (t *Table) Counts() []int { return t.dp.Counts() }
 
-// States returns the number of precomputed states.
+// States returns the number of stored states (after source-plane dedup).
 func (t *Table) States() int64 { return t.dp.States() }
+
+// Planes returns the number of distinct source planes stored; K()/Planes()
+// is the dedup memory saving factor.
+func (t *Table) Planes() int { return t.dp.Planes() }
+
+// Latency returns the network latency the table was built for.
+func (t *Table) Latency() int64 { return t.dp.latency }
+
+// Types returns the sorted type inventory the table covers.
+func (t *Table) Types() []Type { return t.dp.Types() }
 
 // Lookup returns the optimal reception completion time for a multicast
 // from a source of type srcType to counts[j] destinations of type j.

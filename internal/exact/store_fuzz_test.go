@@ -1,0 +1,100 @@
+package exact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenNetworks are the networks behind the checked-in testdata corpus:
+// a plain k=2 network, a k=3 network with an equal-Send run (dedup'd to 2
+// planes), and the recv-tied non-monotone regression network.
+var goldenNetworks = []struct {
+	name    string
+	latency int64
+	types   []Type
+	counts  []int
+}{
+	{"k2-basic", 1, []Type{{Send: 1, Recv: 1}, {Send: 2, Recv: 3}}, []int{3, 2}},
+	{"k3-dedup", 2, []Type{{Send: 2, Recv: 3}, {Send: 2, Recv: 5}, {Send: 3, Recv: 4}}, []int{2, 2, 2}},
+	{"k3-nonmonotone", 2, []Type{{Send: 2, Recv: 4}, {Send: 3, Recv: 4}, {Send: 4, Recv: 6}}, []int{3, 2, 3}},
+}
+
+func buildGolden(tb testing.TB, i int) *Table {
+	tb.Helper()
+	g := goldenNetworks[i]
+	dp, err := New(g.latency, g.types, g.counts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dp.FillAll()
+	return &Table{dp: dp}
+}
+
+// TestRegenerateGoldenTables rewrites the testdata corpus. It is skipped
+// in normal runs; set REGEN_GOLDEN=1 after a deliberate format version
+// bump (and only then — the golden files pin format v1).
+func TestRegenerateGoldenTables(t *testing.T) {
+	if os.Getenv("REGEN_GOLDEN") == "" {
+		t.Skip("set REGEN_GOLDEN=1 to rewrite testdata golden tables")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range goldenNetworks {
+		path := filepath.Join("testdata", g.name+".hnowtbl")
+		if err := WriteTableFile(path, buildGolden(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}
+
+// FuzzTableDecode fuzzes ReadTableBytes with the golden corpus as seeds,
+// plus deliberately broken variants so mutation starts on the error
+// surface. The decoder must never panic; any input it accepts must be a
+// canonical serialization: re-encoding it reproduces the input bytes
+// exactly, and the loaded table must be fully filled.
+func FuzzTableDecode(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.hnowtbl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no golden table files in testdata (run TestRegenerateGoldenTables with REGEN_GOLDEN=1)")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2]) // truncated
+		skew := append([]byte(nil), data...)
+		skew[8]++ // version skew
+		f.Add(skew)
+		flip := append([]byte(nil), data...)
+		flip[len(flip)-3] ^= 0x10 // payload bit flip
+		f.Add(flip)
+	}
+	f.Add([]byte(tableMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ReadTableBytes(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if tab.K() <= 0 || tab.Planes() <= 0 || tab.Planes() > tab.K() || tab.States() <= 0 {
+			t.Fatalf("accepted table has inconsistent geometry: k=%d planes=%d states=%d",
+				tab.K(), tab.Planes(), tab.States())
+		}
+		var buf bytes.Buffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted table failed to re-serialize: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: re-encoding differs (%d vs %d bytes)",
+				buf.Len(), len(data))
+		}
+	})
+}

@@ -4,6 +4,11 @@
 // (E1-E10) defines. Each experiment returns a human-readable report; the
 // cmd/hnowbench binary prints them and the root bench suite times their
 // kernels.
+//
+// The trial fan-outs (E4, E6, E7, E8, E10) run on the shared
+// batch.ForEach worker pool: trials write into pre-sized slots and are
+// aggregated in trial order afterwards, so every report is byte-identical
+// to a sequential run regardless of parallelism.
 package experiments
 
 import (
@@ -12,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/batch"
 	"repro/internal/bounds"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -22,6 +28,26 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// forTrials runs one trial per index on the shared batch.ForEach worker
+// pool, collecting results into pre-sized slots, and returns them in
+// trial order (with the first error in trial order, if any). Every
+// parallel experiment funnels through it so the slot-and-ordered-
+// aggregation discipline — reports byte-identical to a sequential run —
+// lives in one place.
+func forTrials[T any](n int, run func(t int) (T, error)) ([]T, error) {
+	slots := make([]T, n)
+	errs := make([]error, n)
+	batch.ForEach(0, n, func(_, t int) {
+		slots[t], errs[t] = run(t)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return slots, nil
+}
 
 // Figure1Set returns the exact instance of the paper's Figure 1: a slow
 // source (send 2, recv 3), three fast destinations (1, 1), one slow
@@ -205,28 +231,50 @@ func E4ApproxRatio(trialsPerBand int) string {
 	}
 	tb := stats.NewTable("ratio band", "mean greedy/OPT", "max greedy/OPT", "mean +leafrev/OPT", "mean bound/OPT", "bound violations")
 	for _, bd := range bands {
-		var ratios, ratiosRev, boundRel []float64
-		violations := 0
-		for t := 0; t < trialsPerBand; t++ {
+		// Each trial solves an exact DP, so the fan-out runs on the shared
+		// worker pool.
+		type trial struct {
+			ok                        bool
+			ratio, ratioRev, boundRel float64
+			violated                  bool
+		}
+		results, err := forTrials(trialsPerBand, func(t int) (trial, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 3 + t%6, K: 2 + t%2, RatioMin: bd.min, RatioMax: bd.max,
 				MaxSend: 24, Latency: 3, Seed: int64(t)*7919 + 13,
 			})
 			if err != nil {
-				return fmt.Sprintf("E4: %v", err)
+				return trial{}, err
 			}
 			opt, err := exact.OptimalRT(set)
 			if err != nil || opt == 0 {
-				continue
+				return trial{}, nil
 			}
 			g := mustSchedule(core.Greedy{}, set)
 			gr := mustSchedule(core.Greedy{Reversal: true}, set)
 			rt, rtRev := model.RT(g), model.RT(gr)
 			p := bounds.ParamsOf(set)
-			ratios = append(ratios, float64(rt)/float64(opt))
-			ratiosRev = append(ratiosRev, float64(rtRev)/float64(opt))
-			boundRel = append(boundRel, p.Bound(opt)/float64(opt))
-			if float64(rt) >= p.Bound(opt) {
+			return trial{
+				ok:       true,
+				ratio:    float64(rt) / float64(opt),
+				ratioRev: float64(rtRev) / float64(opt),
+				boundRel: p.Bound(opt) / float64(opt),
+				violated: float64(rt) >= p.Bound(opt),
+			}, nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E4: %v", err)
+		}
+		var ratios, ratiosRev, boundRel []float64
+		violations := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			ratios = append(ratios, r.ratio)
+			ratiosRev = append(ratiosRev, r.ratioRev)
+			boundRel = append(boundRel, r.boundRel)
+			if r.violated {
 				violations++
 			}
 		}
@@ -313,21 +361,24 @@ func E6LeafReversal(trials int) string {
 	}
 	tb := stats.NewTable("cluster mix", "mean improv %", "max improv %", "improved/total")
 	for _, m := range mixes {
-		var improvements []float64
-		improved := 0
-		for t := 0; t < trials; t++ {
+		improvements, err := forTrials(trials, func(t int) (float64, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 5 + t%40, K: m.k, Weights: m.weights, MaxSend: 32, Latency: 4,
 				RatioMin: 1.05, RatioMax: 1.85, Seed: int64(t) * 31,
 			})
 			if err != nil {
-				return fmt.Sprintf("E6: %v", err)
+				return 0, err
 			}
 			before := model.RT(mustSchedule(core.Greedy{}, set))
 			after := model.RT(mustSchedule(core.Greedy{Reversal: true}, set))
-			imp := 100 * float64(before-after) / float64(before)
-			improvements = append(improvements, imp)
-			if after < before {
+			return 100 * float64(before-after) / float64(before), nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E6: %v", err)
+		}
+		improved := 0
+		for _, imp := range improvements {
+			if imp > 0 {
 				improved++
 			}
 		}
@@ -361,20 +412,33 @@ func E7Baselines(trials int) string {
 	header := append([]string{"cluster mix"}, names...)
 	tb := stats.NewTable(header...)
 	for _, m := range mixes {
-		sums := map[string]float64{}
-		for t := 0; t < trials; t++ {
+		// One slot of per-scheduler RTs per trial; the sums are then
+		// accumulated in trial order so the floating-point result is
+		// independent of worker scheduling.
+		perTrial, err := forTrials(trials, func(t int) (map[string]float64, error) {
 			cfg := m.cfg
 			cfg.Seed = int64(t)*101 + 7
 			set, err := cluster.Generate(cfg)
 			if err != nil {
-				return fmt.Sprintf("E7: %v", err)
+				return nil, err
 			}
+			rts := make(map[string]float64, len(names))
 			for _, s := range allSchedulers(int64(t)) {
 				sch, err := s.Schedule(set)
 				if err != nil {
-					return fmt.Sprintf("E7: %s: %v", s.Name(), err)
+					return nil, fmt.Errorf("%s: %v", s.Name(), err)
 				}
-				sums[s.Name()] += float64(model.RT(sch))
+				rts[s.Name()] = float64(model.RT(sch))
+			}
+			return rts, nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E7: %v", err)
+		}
+		sums := map[string]float64{}
+		for _, rts := range perTrial {
+			for name, rt := range rts {
+				sums[name] += rt
 			}
 		}
 		base := sums["greedy+leafrev"]
@@ -394,21 +458,29 @@ func E8Simulator(trials int) string {
 	if trials <= 0 {
 		trials = 60
 	}
-	mismatches := 0
-	for t := 0; t < trials; t++ {
+	perTrial, err := forTrials(trials, func(t int) (int, error) {
 		set, err := cluster.Generate(cluster.GenConfig{N: 5 + t%80, K: 3, Seed: int64(t) + 900})
 		if err != nil {
-			return fmt.Sprintf("E8: %v", err)
+			return 0, err
 		}
+		bad := 0
 		for _, s := range allSchedulers(int64(t)) {
 			sch, err := s.Schedule(set)
 			if err != nil {
-				return fmt.Sprintf("E8: %v", err)
+				return 0, err
 			}
 			if err := sim.CompareAnalytic(sch); err != nil {
-				mismatches++
+				bad++
 			}
 		}
+		return bad, nil
+	})
+	if err != nil {
+		return fmt.Sprintf("E8: %v", err)
+	}
+	mismatches := 0
+	for _, bad := range perTrial {
+		mismatches += bad
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "E8: DES vs analytic on %d instances x %d schedulers: %d mismatches (must be 0)\n\n",
@@ -422,13 +494,17 @@ func E8Simulator(trials int) string {
 	sch := mustSchedule(core.Greedy{Reversal: true}, set)
 	base := model.RT(sch)
 	for _, amp := range []float64{0.05, 0.15, 0.3, 0.5} {
-		var infl []float64
-		for seed := int64(0); seed < 50; seed++ {
-			res, err := sim.RunPerturbed(sch, sim.UniformJitter(seed, amp))
-			if err != nil {
-				return fmt.Sprintf("E8: %v", err)
-			}
-			infl = append(infl, 100*(float64(res.Times.RT)/float64(base)-1))
+		// Monte Carlo on the shared pool; each trial seeds its own jitter
+		// generator, so the draw is identical to the sequential loop.
+		results, err := sim.Trials(sch, 50, 0, func(trial int) sim.Perturb {
+			return sim.UniformJitter(int64(trial), amp)
+		})
+		if err != nil {
+			return fmt.Sprintf("E8: %v", err)
+		}
+		infl := make([]float64, len(results))
+		for i, res := range results {
+			infl[i] = 100 * (float64(res.Times.RT)/float64(base) - 1)
 		}
 		s := stats.Summarize(infl)
 		tb.AddRow(fmt.Sprintf("%.0f%%", amp*100), s.Mean, s.P99)
@@ -498,20 +574,30 @@ func E10Sensitivity(trials int) string {
 	// Latency sweep.
 	lt := stats.NewTable("latency L", "greedy RT", "binomial RT", "star RT", "greedy wins")
 	for _, L := range []int64{1, 5, 20, 80, 320} {
-		var g, bi, st float64
-		wins := 0
-		for t := 0; t < trials; t++ {
+		type trio struct {
+			g, bi, st float64
+		}
+		slots, err := forTrials(trials, func(t int) (trio, error) {
 			set, err := cluster.Generate(cluster.GenConfig{N: 48, K: 3, Latency: L, MaxSend: 24, Seed: int64(t) + 11})
 			if err != nil {
-				return fmt.Sprintf("E10: %v", err)
+				return trio{}, err
 			}
-			gr := float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set)))
-			br := float64(model.RT(mustSchedule(baselines.Binomial{}, set)))
-			sr := float64(model.RT(mustSchedule(baselines.Star{}, set)))
-			g += gr
-			bi += br
-			st += sr
-			if gr <= br && gr <= sr {
+			return trio{
+				g:  float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set))),
+				bi: float64(model.RT(mustSchedule(baselines.Binomial{}, set))),
+				st: float64(model.RT(mustSchedule(baselines.Star{}, set))),
+			}, nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E10: %v", err)
+		}
+		var g, bi, st float64
+		wins := 0
+		for _, s := range slots {
+			g += s.g
+			bi += s.bi
+			st += s.st
+			if s.g <= s.bi && s.g <= s.st {
 				wins++
 			}
 		}
@@ -522,17 +608,29 @@ func E10Sensitivity(trials int) string {
 	// Slow-fraction sweep.
 	ft := stats.NewTable("slow fraction", "greedy RT", "fnf RT", "fnf/greedy")
 	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
-		var g, f float64
-		for t := 0; t < trials; t++ {
+		type pair struct {
+			g, f float64
+		}
+		slots, err := forTrials(trials, func(t int) (pair, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 48, K: 2, Weights: []float64{1 - frac + 1e-9, frac + 1e-9},
 				RatioMin: 1.4, RatioMax: 1.85, MaxSend: 32, Latency: 5, Seed: int64(t) + 37,
 			})
 			if err != nil {
-				return fmt.Sprintf("E10: %v", err)
+				return pair{}, err
 			}
-			g += float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set)))
-			f += float64(model.RT(mustSchedule(baselines.FNF{}, set)))
+			return pair{
+				g: float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set))),
+				f: float64(model.RT(mustSchedule(baselines.FNF{}, set))),
+			}, nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E10: %v", err)
+		}
+		var g, f float64
+		for _, s := range slots {
+			g += s.g
+			f += s.f
 		}
 		ft.AddRow(fmt.Sprintf("%.0f%%", frac*100), g/float64(trials), f/float64(trials), f/g)
 	}

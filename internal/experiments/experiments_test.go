@@ -20,6 +20,34 @@ func TestFigure1Artifacts(t *testing.T) {
 	}
 }
 
+// TestParallelReportsDeterministic re-runs the experiments whose trial
+// fan-outs migrated onto batch.ForEach and demands byte-identical
+// reports: the slot-and-ordered-aggregation discipline must hide worker
+// scheduling completely. Under -race (CI) this doubles as the data-race
+// check for the migrated paths.
+func TestParallelReportsDeterministic(t *testing.T) {
+	runs := []struct {
+		name string
+		run  func() string
+	}{
+		{"E4", func() string { return E4ApproxRatio(6) }},
+		{"E6", func() string { return E6LeafReversal(15) }},
+		{"E7", func() string { return E7Baselines(6) }},
+		{"E8", func() string { return E8Simulator(6) }},
+		{"E10", func() string { return E10Sensitivity(3) }},
+	}
+	for _, c := range runs {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			first := c.run()
+			if second := c.run(); second != first {
+				t.Errorf("%s report differs between runs:\n--- first\n%s\n--- second\n%s", c.name, first, second)
+			}
+		})
+	}
+}
+
 // Each report generator must render a non-empty report with its headline
 // and without error markers, at reduced trial counts to keep the test
 // fast.

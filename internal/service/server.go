@@ -36,6 +36,11 @@ type Config struct {
 	// TableWorkers is the default fill parallelism for /v1/table builds;
 	// 0 selects GOMAXPROCS.
 	TableWorkers int
+	// TableDir, when non-empty, persists every built DP table to this
+	// directory (atomic temp-file + rename, versioned checksummed format)
+	// and checks it before building, so a restarted daemon keeps its
+	// network precomputations. "" disables the spill.
+	TableDir string
 }
 
 // Server is the hnowd scheduling service: a plan cache over the
@@ -64,7 +69,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cache:        NewCache(cfg.CacheSize, cfg.CacheShards),
-		tables:       newTableCache(cfg.TableCacheSize),
+		tables:       newTableCache(cfg.TableCacheSize, cfg.TableDir),
 		tableWorkers: cfg.TableWorkers,
 		jobs:         newJobStore(ctx, cfg.MaxJobs, cfg.Workers),
 		mux:          http.NewServeMux(),
@@ -306,9 +311,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Optimal {
 		// A warm DP table covering this network answers in constant time
-		// (Theorem 2's closing remark); otherwise fall back to a one-off
-		// DP solve.
-		if opt, ok := s.tables.lookupSet(canon); ok {
+		// (Theorem 2's closing remark); a table persisted to -table-dir
+		// (e.g. before a restart) is loaded without refilling any DP;
+		// otherwise fall back to a one-off DP solve.
+		if opt, ok := s.tables.lookupSetAny(canon); ok {
 			resp.Optimal = &opt
 		} else if opt, err := exact.OptimalRT(canon); err == nil {
 			resp.Optimal = &opt

@@ -1,10 +1,14 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,8 +19,22 @@ import (
 )
 
 var (
-	expTableBuilds = expvar.NewInt("hnowd.table.builds")
-	expTableHits   = expvar.NewInt("hnowd.table.hits")
+	expTableBuilds     = expvar.NewInt("hnowd.table.builds")
+	expTableHits       = expvar.NewInt("hnowd.table.hits")
+	expTableDiskHits   = expvar.NewInt("hnowd.table.disk_hits")
+	expTableDiskWrites = expvar.NewInt("hnowd.table.disk_writes")
+	expTableDiskErrors = expvar.NewInt("hnowd.table.disk_errors")
+)
+
+// Table source labels reported in TableResponse.Cache.
+const (
+	// TableCacheHit: the table was already materialized in memory.
+	TableCacheHit = "hit"
+	// TableCacheMiss: the table was built by this request.
+	TableCacheMiss = "miss"
+	// TableCacheDisk: the table was loaded from the -table-dir spill
+	// persisted by an earlier build (possibly before a restart).
+	TableCacheDisk = "disk"
 )
 
 // TableRequest asks the service to materialize (or reuse) the full optimal
@@ -34,7 +52,9 @@ type TableRequest struct {
 type TableResponse struct {
 	// Key is the network key the table is cached under.
 	Key string `json:"key"`
-	// Cache is "hit" or "miss" ("miss" means the table was built now).
+	// Cache reports where the table came from: "hit" (already in
+	// memory), "miss" (built by this request), or "disk" (loaded from
+	// the -table-dir spill, e.g. after a daemon restart).
 	Cache string `json:"cache"`
 	K     int    `json:"k"`
 	// States is the number of precomputed DP states.
@@ -44,9 +64,13 @@ type TableResponse struct {
 	// OptimalRT is the optimal reception completion time of the full
 	// multicast (the source to every destination in the set).
 	OptimalRT int64 `json:"optimal_rt"`
-	// BuildMillis is the wall-clock fill time; 0 on a cache hit.
+	// BuildMillis is the wall-clock fill time; 0 on a cache or disk hit.
 	BuildMillis int64 `json:"build_ms"`
 }
+
+// FromDisk reports whether the table was warmed from the persisted spill
+// (-table-dir) rather than built or found in memory.
+func (r *TableResponse) FromDisk() bool { return r.Cache == TableCacheDisk }
 
 // networkKey identifies a network for table caching: latency plus the
 // multiset of node types with destination counts. The source's type is in
@@ -70,6 +94,23 @@ func networkKey(latency int64, types []exact.Type, counts []int) string {
 	return b.String()
 }
 
+// tableFileName is the canonical spill file name for a network key: the
+// key hashed (keys grow with the type inventory) plus the table
+// extension. The name is only a locator; loadFromDisk re-derives the key
+// from the file header before trusting a file.
+func tableFileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8]) + ".hnowtbl"
+}
+
+// TableFileName returns the spill file name the service expects for this
+// table inside its -table-dir. cmd/hnowtable uses it so CLI-built tables
+// (hnowtable -save <dir>) are found by a daemon pointed at the same
+// directory.
+func TableFileName(t *exact.Table) string {
+	return tableFileName(networkKey(t.Latency(), t.Types(), t.Counts()))
+}
+
 // tableCache is a small LRU of materialized DP tables. Tables are orders
 // of magnitude bigger than plans, so the cache holds a handful of whole
 // networks rather than thousands of entries; per-key in-flight tracking
@@ -84,6 +125,7 @@ const maxConcurrentTableBuilds = 2
 type tableCache struct {
 	mu       sync.Mutex
 	cap      int
+	dir      string       // "" = no disk spill
 	entries  []tableEntry // front = most recently used
 	building map[string]chan struct{}
 	buildSem chan struct{}
@@ -94,15 +136,61 @@ type tableEntry struct {
 	table *exact.Table
 }
 
-func newTableCache(capacity int) *tableCache {
+func newTableCache(capacity int, dir string) *tableCache {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if dir != "" {
+		// Best effort: a failed mkdir surfaces as disk_errors on first use.
+		os.MkdirAll(dir, 0o755)
+	}
 	return &tableCache{
 		cap:      capacity,
+		dir:      dir,
 		building: make(map[string]chan struct{}),
 		buildSem: make(chan struct{}, maxConcurrentTableBuilds),
 	}
+}
+
+// loadFromDisk tries the spill directory for a persisted table matching
+// key. The file header is validated against the key (the name is only a
+// hash locator), so a stale, renamed or foreign file is never trusted.
+func (c *tableCache) loadFromDisk(key string) (*exact.Table, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, tableFileName(key)))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			expTableDiskErrors.Add(1)
+		}
+		return nil, false
+	}
+	t, err := exact.ReadTableBytes(data)
+	if err != nil {
+		expTableDiskErrors.Add(1)
+		return nil, false
+	}
+	if networkKey(t.Latency(), t.Types(), t.Counts()) != key {
+		expTableDiskErrors.Add(1)
+		return nil, false
+	}
+	expTableDiskHits.Add(1)
+	return t, true
+}
+
+// saveToDisk spills a freshly built table (atomic temp-file + rename).
+// Failures only count toward disk_errors: persistence is an optimization,
+// never a reason to fail the build that produced the table.
+func (c *tableCache) saveToDisk(key string, t *exact.Table) {
+	if c.dir == "" {
+		return
+	}
+	if err := exact.WriteTableFile(filepath.Join(c.dir, tableFileName(key)), t); err != nil {
+		expTableDiskErrors.Add(1)
+		return
+	}
+	expTableDiskWrites.Add(1)
 }
 
 // get returns the cached table for key, refreshing its recency.
@@ -158,29 +246,124 @@ func (c *tableCache) lookupSet(set *model.MulticastSet) (int64, bool) {
 	return 0, false
 }
 
-// getOrBuild returns the table for the analyzed instance, building it
-// (with the given fill parallelism) at most once per key: concurrent
-// warms of the same network wait for the in-flight build, while distinct
-// networks build in parallel.
-func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table, string, bool, time.Duration, error) {
+// loadKeyed is the single-flighted disk load: concurrent callers of the
+// same key (or a build of it, via the shared building map) do the read,
+// checksum and choice validation once; everyone else waits and takes the
+// promoted in-memory entry.
+func (c *tableCache) loadKeyed(key string) (*exact.Table, bool) {
+	for {
+		c.mu.Lock()
+		if t, ok := c.getLocked(key); ok {
+			c.mu.Unlock()
+			expTableHits.Add(1)
+			return t, true
+		}
+		if ch, ok := c.building[key]; ok {
+			c.mu.Unlock()
+			<-ch // a load or build of this network is in flight
+			continue
+		}
+		ch := make(chan struct{})
+		c.building[key] = ch
+		c.mu.Unlock()
+		t, ok := c.loadFromDisk(key)
+		if ok {
+			c.put(key, t)
+		}
+		c.mu.Lock()
+		delete(c.building, key)
+		c.mu.Unlock()
+		close(ch)
+		return t, ok
+	}
+}
+
+// lookupSetAny is lookupSet with a disk fallback: a set not covered by
+// any in-memory table is answered from the spill — first the file keyed
+// by the set's own inventory, then a header scan of the directory for
+// any persisted network that covers the set (the disk analogue of
+// lookupSet's covering semantics, so a restart keeps serving
+// sub-multicasts too). The covering table is promoted into the in-memory
+// cache; no DP is ever refilled here.
+func (c *tableCache) lookupSetAny(set *model.MulticastSet) (int64, bool) {
+	if rt, ok := c.lookupSet(set); ok {
+		return rt, true
+	}
+	if c.dir == "" {
+		return 0, false
+	}
+	inst, err := exact.Analyze(set)
+	if err != nil {
+		return 0, false
+	}
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
+	if t, ok := c.loadKeyed(key); ok {
+		if rt, err := t.Lookup(inst.SourceType, inst.Counts); err == nil {
+			return rt, true
+		}
+		return 0, false
+	}
+	// No exact-inventory file; scan headers (two small reads per file,
+	// payloads untouched) for a covering network.
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, false
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".hnowtbl" {
+			continue
+		}
+		h, err := exact.ReadTableHeaderFile(filepath.Join(c.dir, e.Name()))
+		if err != nil || !h.Covers(set) {
+			continue
+		}
+		// The header is only a routing hint; the keyed load re-reads and
+		// fully validates (checksum, choices) before anything is trusted.
+		t, ok := c.loadKeyed(networkKey(h.Latency, h.Types, h.Counts))
+		if !ok {
+			continue
+		}
+		if rt, ok := t.LookupSet(set); ok {
+			return rt, true
+		}
+	}
+	return 0, false
+}
+
+// getOrBuild returns the table for the analyzed instance, checking the
+// in-memory cache, then the disk spill, then building (with the given
+// fill parallelism) — at most once per key: concurrent warms of the same
+// network wait for the in-flight load/build, while distinct networks
+// proceed in parallel. The returned source is one of TableCacheHit,
+// TableCacheDisk or TableCacheMiss.
+func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table, string, string, time.Duration, error) {
 	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
 	for {
 		c.mu.Lock()
 		if t, ok := c.getLocked(key); ok {
 			c.mu.Unlock()
 			expTableHits.Add(1)
-			return t, key, true, 0, nil
+			return t, key, TableCacheHit, 0, nil
 		}
 		if ch, ok := c.building[key]; ok {
 			c.mu.Unlock()
-			<-ch // someone else is building this network; wait and re-check
+			<-ch // someone else is loading/building this network; wait and re-check
 			continue
 		}
 		// The cache re-check and builder registration share one critical
-		// section, so a build finishing between them cannot be redone.
+		// section, so a load/build finishing between them cannot be redone.
 		ch := make(chan struct{})
 		c.building[key] = ch
 		c.mu.Unlock()
+
+		if t, ok := c.loadFromDisk(key); ok {
+			c.put(key, t)
+			c.mu.Lock()
+			delete(c.building, key)
+			c.mu.Unlock()
+			close(ch)
+			return t, key, TableCacheDisk, 0, nil
+		}
 
 		c.buildSem <- struct{}{} // bound concurrent distinct-network builds
 		start := time.Now()
@@ -189,15 +372,16 @@ func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table
 		if err == nil {
 			expTableBuilds.Add(1)
 			c.put(key, t)
+			c.saveToDisk(key, t)
 		}
 		c.mu.Lock()
 		delete(c.building, key)
 		c.mu.Unlock()
 		close(ch) // waiters re-check the cache (and rebuild on our failure)
 		if err != nil {
-			return nil, key, false, 0, err
+			return nil, key, TableCacheMiss, 0, err
 		}
-		return t, key, false, time.Since(start), nil
+		return t, key, TableCacheMiss, time.Since(start), nil
 	}
 }
 
@@ -222,7 +406,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.tableWorkers
 	}
-	table, key, hit, buildTime, err := s.tables.getOrBuild(inst, workers)
+	table, key, source, buildTime, err := s.tables.getOrBuild(inst, workers)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -234,7 +418,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, TableResponse{
 		Key:         key,
-		Cache:       cacheLabel(hit),
+		Cache:       source,
 		K:           table.K(),
 		States:      table.States(),
 		Counts:      table.Counts(),

@@ -3,6 +3,9 @@ package service
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -113,7 +116,7 @@ func TestCompareUsesWarmTable(t *testing.T) {
 }
 
 func TestTableCacheEviction(t *testing.T) {
-	c := newTableCache(2)
+	c := newTableCache(2, "")
 	mk := func(latency int64) *exact.Table {
 		set, err := model.NewMulticastSet(latency, model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1})
 		if err != nil {
@@ -143,7 +146,7 @@ func TestTableCacheEviction(t *testing.T) {
 }
 
 func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
-	c := newTableCache(2)
+	c := newTableCache(2, "")
 	set, err := model.NewMulticastSet(1,
 		model.Node{Send: 2, Recv: 3},
 		model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1}, model.Node{Send: 2, Recv: 3})
@@ -161,7 +164,7 @@ func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tab, _, hit, _, err := c.getOrBuild(inst, 2)
+			tab, _, source, _, err := c.getOrBuild(inst, 2)
 			if err != nil {
 				t.Error(err)
 				return
@@ -169,7 +172,7 @@ func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
 			if tab == nil {
 				t.Error("nil table")
 			}
-			if hit {
+			if source == TableCacheHit {
 				hits.Add(1)
 			}
 		}()
@@ -183,6 +186,203 @@ func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
 	}
 	if len(c.entries) != 1 {
 		t.Errorf("cache holds %d entries, want 1", len(c.entries))
+	}
+}
+
+// TestTableDirRestartServesFromDisk is the persistence acceptance test:
+// a table built via POST /v1/table on one daemon must, after that daemon
+// is gone, answer the first /v1/compare of a daemon restarted with the
+// same -table-dir from disk — the expvar disk-hit counter moves, no DP
+// build happens, and the optimum is identical.
+func TestTableDirRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	set := tableTestSet(t)
+
+	// First daemon lifecycle: build, spill, shut down.
+	writesBefore := expTableDiskWrites.Value()
+	svc1 := New(Config{TableDir: dir})
+	ts1 := httptest.NewServer(svc1.Handler())
+	resp, body := post(t, ts1.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var built TableResponse
+	if err := json.Unmarshal(body, &built); err != nil {
+		t.Fatal(err)
+	}
+	if built.Cache != TableCacheMiss {
+		t.Fatalf("first build reported cache %q, want %q", built.Cache, TableCacheMiss)
+	}
+	ts1.Close()
+	svc1.Close()
+	if got := expTableDiskWrites.Value(); got != writesBefore+1 {
+		t.Fatalf("disk writes moved by %d, want 1", got-writesBefore)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".hnowtbl" {
+		t.Fatalf("spill dir holds %v, want one .hnowtbl file", entries)
+	}
+
+	// Restarted daemon, same -table-dir: the first /v1/compare optimal
+	// lookup must come from the persisted table, not a DP refill.
+	svc2 := New(Config{TableDir: dir})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer func() {
+		ts2.Close()
+		svc2.Close()
+	}()
+	buildsBefore := expTableBuilds.Value()
+	diskBefore := expTableDiskHits.Value()
+	resp, body = post(t, ts2.URL+"/v1/compare", CompareRequest{Set: rawSet(t, set), Optimal: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare after restart: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var cr CompareResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Optimal == nil || *cr.Optimal != built.OptimalRT {
+		t.Fatalf("post-restart optimal = %v, want %d", cr.Optimal, built.OptimalRT)
+	}
+	if got := expTableDiskHits.Value(); got != diskBefore+1 {
+		t.Errorf("disk hits moved by %d, want 1", got-diskBefore)
+	}
+	if got := expTableBuilds.Value(); got != buildsBefore {
+		t.Errorf("restart triggered %d DP builds, want 0", got-buildsBefore)
+	}
+
+	// A restarted daemon must also cover sub-multicasts of the spilled
+	// network from disk (the header-scan path): a strict subset has a
+	// different network key, so only coverage can find the file.
+	svc2b := New(Config{TableDir: dir})
+	ts2b := httptest.NewServer(svc2b.Handler())
+	defer func() {
+		ts2b.Close()
+		svc2b.Close()
+	}()
+	sub := set.Clone()
+	sub.Nodes = sub.Nodes[:3] // source + two fast destinations
+	subBuilds := expTableBuilds.Value()
+	subDisk := expTableDiskHits.Value()
+	resp, body = post(t, ts2b.URL+"/v1/compare", CompareRequest{Set: rawSet(t, sub), Optimal: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sub-multicast compare after restart: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var subCR CompareResponse
+	if err := json.Unmarshal(body, &subCR); err != nil {
+		t.Fatal(err)
+	}
+	subWant, err := exact.OptimalRT(Canonicalize(sub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subCR.Optimal == nil || *subCR.Optimal != subWant {
+		t.Fatalf("post-restart sub-multicast optimal = %v, want %d", subCR.Optimal, subWant)
+	}
+	// The proof it came off disk: the covering scan loaded the file (one
+	// disk hit) and no table build happened (OptimalRT's one-off DP
+	// fallback would move neither counter, so also check the promoted
+	// table now answers in memory).
+	if got := expTableDiskHits.Value(); got != subDisk+1 {
+		t.Errorf("sub-multicast compare moved disk hits by %d, want 1", got-subDisk)
+	}
+	if got := expTableBuilds.Value(); got != subBuilds {
+		t.Errorf("sub-multicast compare after restart triggered %d DP builds, want 0", got-subBuilds)
+	}
+	if rt, ok := svc2b.tables.lookupSet(Canonicalize(sub)); !ok || rt != subWant {
+		t.Errorf("covering table not promoted: lookupSet = (%d, %v), want (%d, true)", rt, ok, subWant)
+	}
+
+	// The loaded table was promoted into memory: a warm request is now an
+	// ordinary in-memory hit with the original key and optimum.
+	resp, body = post(t, ts2.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-warm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rewarmed TableResponse
+	if err := json.Unmarshal(body, &rewarmed); err != nil {
+		t.Fatal(err)
+	}
+	if rewarmed.Cache != TableCacheHit || rewarmed.Key != built.Key || rewarmed.OptimalRT != built.OptimalRT {
+		t.Errorf("re-warm after disk promotion: %+v, want in-memory hit of %+v", rewarmed, built)
+	}
+
+	// A third daemon warming via /v1/table (no prior compare) reports the
+	// disk source explicitly.
+	svc3 := New(Config{TableDir: dir})
+	ts3 := httptest.NewServer(svc3.Handler())
+	defer func() {
+		ts3.Close()
+		svc3.Close()
+	}()
+	resp, body = post(t, ts3.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disk warm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var fromDisk TableResponse
+	if err := json.Unmarshal(body, &fromDisk); err != nil {
+		t.Fatal(err)
+	}
+	if !fromDisk.FromDisk() || fromDisk.OptimalRT != built.OptimalRT || fromDisk.BuildMillis != 0 {
+		t.Errorf("warm on third daemon: %+v, want cache=disk with optimal %d", fromDisk, built.OptimalRT)
+	}
+}
+
+// TestTableDirIgnoresCorruptSpill ensures a damaged spill file degrades
+// to a rebuild (counted as a disk error), never a bad answer.
+func TestTableDirIgnoresCorruptSpill(t *testing.T) {
+	dir := t.TempDir()
+	set := tableTestSet(t)
+	svc1 := New(Config{TableDir: dir})
+	ts1 := httptest.NewServer(svc1.Handler())
+	resp, body := post(t, ts1.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var built TableResponse
+	if err := json.Unmarshal(body, &built); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	svc1.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("spill dir: %v, %v", entries, err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errsBefore := expTableDiskErrors.Value()
+	svc2 := New(Config{TableDir: dir})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer func() {
+		ts2.Close()
+		svc2.Close()
+	}()
+	resp, body = post(t, ts2.URL+"/v1/table", TableRequest{Set: rawSet(t, set)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm over corrupt spill: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rebuilt TableResponse
+	if err := json.Unmarshal(body, &rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Cache != TableCacheMiss || rebuilt.OptimalRT != built.OptimalRT {
+		t.Errorf("corrupt spill answered %+v, want a fresh build with optimal %d", rebuilt, built.OptimalRT)
+	}
+	if expTableDiskErrors.Value() == errsBefore {
+		t.Error("corrupt spill not counted as a disk error")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/batch"
 	"repro/internal/model"
 	"repro/internal/pqueue"
 )
@@ -182,6 +183,38 @@ func RunPerturbed(sch *model.Schedule, perturb Perturb) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %d destinations never delivered", remaining)
 	}
 	return Result{Times: tm, Events: events}, nil
+}
+
+// Trials executes n independent perturbed runs of one schedule on a
+// batch.ForEach worker pool (workers = 0 selects GOMAXPROCS) and returns
+// the results in trial order, deterministic regardless of parallelism.
+// mk(i) builds the i-th trial's perturbation and is called on the worker
+// goroutine, so every trial must get an independent Perturb (seeded
+// generators like UniformJitter(int64(i), amp) are); a single stateful
+// Perturb shared across trials would race. mk may be nil for exact runs.
+//
+// This is the Monte Carlo engine behind the robustness experiments; the
+// per-trial work is a full discrete-event execution, so the fan-out is
+// worth a pool even at modest n.
+func Trials(sch *model.Schedule, n, workers int, mk func(trial int) Perturb) ([]Result, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	batch.ForEach(workers, n, func(_, i int) {
+		var p Perturb
+		if mk != nil {
+			p = mk(i)
+		}
+		results[i], errs[i] = RunPerturbed(sch, p)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // CompareAnalytic runs the simulator without perturbation and verifies the

@@ -186,6 +186,56 @@ func TestOpString(t *testing.T) {
 	}
 }
 
+// TestTrialsDeterministicAcrossWorkers pins the Monte Carlo fan-out's
+// contract: results are in trial order and bit-identical whatever the
+// pool size. Under -race this also exercises the slot discipline of the
+// batch.ForEach migration.
+func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
+	set, err := cluster.Generate(cluster.GenConfig{N: 60, K: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(trial int) Perturb { return UniformJitter(int64(trial), 0.3) }
+	seq, err := Trials(sch, 40, 1, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := Trials(sch, 40, workers, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if par[i].Times.RT != seq[i].Times.RT || par[i].Events != seq[i].Events {
+				t.Fatalf("workers=%d trial %d: RT=%d events=%d, sequential RT=%d events=%d",
+					workers, i, par[i].Times.RT, par[i].Events, seq[i].Times.RT, seq[i].Events)
+			}
+		}
+	}
+	// Exact runs (nil perturbation) must reproduce the analytic times.
+	exact, err := Trials(sch, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.ComputeTimes(sch)
+	for i, res := range exact {
+		if res.Times.RT != want.RT || res.Times.DT != want.DT {
+			t.Fatalf("exact trial %d: RT/DT (%d,%d), analytic (%d,%d)",
+				i, res.Times.RT, res.Times.DT, want.RT, want.DT)
+		}
+	}
+	// An invalid perturbation must surface as an error, not a panic.
+	if _, err := Trials(sch, 2, 2, func(int) Perturb {
+		return func(model.NodeID, Op, int64) int64 { return 0 }
+	}); err == nil {
+		t.Fatal("non-positive perturbation accepted by Trials")
+	}
+}
+
 func BenchmarkSimulate4k(b *testing.B) {
 	set, err := cluster.Generate(cluster.GenConfig{N: 4000, K: 3, Seed: 8})
 	if err != nil {
