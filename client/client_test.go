@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
@@ -252,6 +253,17 @@ func TestEndToEndWarmTableFromDisk(t *testing.T) {
 	}
 	if r2.OptimalRT != r1.OptimalRT || r2.Key != r1.Key || r2.States != r1.States {
 		t.Errorf("post-restart table differs: %+v vs %+v", r2, r1)
+	}
+	// Warm-status reporting: the disk-loaded table declares its resident
+	// cost, and on hosts with the mmap path it is served from a mapping.
+	if r2.SizeBytes <= 0 {
+		t.Errorf("post-restart warm reports %d size bytes", r2.SizeBytes)
+	}
+	if runtime.GOOS == "linux" && !r2.Mapped {
+		t.Error("post-restart warm on linux not served from an mmap")
+	}
+	if r1.Mapped {
+		t.Error("freshly built table claims to be mapped")
 	}
 }
 

@@ -37,9 +37,12 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "default sweep worker-pool size (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 64, "maximum retained sweep jobs")
-	tableCache := flag.Int("table-cache", 4, "materialized DP tables kept warm")
+	tableMem := flag.Int64("table-mem", 1024, "byte budget for warm DP tables, in MiB (mapped tables count their file size)")
 	tableWorkers := flag.Int("table-workers", 0, "default /v1/table fill parallelism (0 = GOMAXPROCS)")
-	tableDir := flag.String("table-dir", "", "persist built DP tables to this directory and reload them across restarts (\"\" = off)")
+	tableDir := flag.String("table-dir", "", "persist built DP tables to this directory (sharded layout; a flat v1 dir is migrated at startup) and reload them across restarts (\"\" = off)")
+	sweepMaxTrials := flag.Int("sweep-max-trials", 0, "per-request sweep trial cap (0 = default 50000)")
+	sweepMaxN := flag.Int("sweep-max-n", 0, "per-request sweep destination cap (0 = default 2048)")
+	sweepMaxK := flag.Int("sweep-max-k", 0, "per-request sweep type cap (0 = default 16)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -47,9 +50,12 @@ func main() {
 		CacheShards:    *cacheShards,
 		Workers:        *workers,
 		MaxJobs:        *maxJobs,
-		TableCacheSize: *tableCache,
+		TableMemBytes:  *tableMem << 20,
 		TableWorkers:   *tableWorkers,
 		TableDir:       *tableDir,
+		SweepMaxTrials: *sweepMaxTrials,
+		SweepMaxN:      *sweepMaxN,
+		SweepMaxK:      *sweepMaxK,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -9,7 +9,8 @@
 //	hnowtable -set c.json -query 1:3,1                  # T(source type 1; 3 of type 0, 1 of type 1)
 //	hnowtable -set c.json -all                          # dump every state
 //	hnowtable -set c.json -save tables/                 # pre-build for `hnowd -table-dir tables/`
-//	hnowtable -load tables/f00.hnowtbl -query 1:3,1     # query a persisted table
+//	hnowtable -load tables/ab/cdef.hnowtbl -query 1:3,1 # query a persisted table
+//	hnowtable -migrate tables/                          # flat v1 spill dir -> sharded layout
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -30,9 +30,19 @@ func main() {
 	setPath := flag.String("set", "-", "instance JSON ('-' = stdin); its nodes define the network inventory")
 	query := flag.String("query", "", "optimal-time query 'srcType:c0,c1,...' (counts per type)")
 	all := flag.Bool("all", false, "dump the full table")
-	save := flag.String("save", "", "persist the built table: a file path, or an existing directory (e.g. a daemon -table-dir) to use the canonical spill file name")
+	save := flag.String("save", "", "persist the built table: a file path, or an existing directory (e.g. a daemon -table-dir) to use the canonical sharded spill path")
 	load := flag.String("load", "", "load a persisted table instead of building (-set is ignored)")
+	migrate := flag.String("migrate", "", "one-shot: move a flat v1 spill directory into the sharded layout, then exit")
 	flag.Parse()
+
+	if *migrate != "" {
+		moved, err := service.MigrateSpillDir(*migrate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("migrated %s: %d table file(s) moved into the sharded layout\n", *migrate, moved)
+		return
+	}
 
 	var table *exact.Table
 	if *load != "" {
@@ -73,7 +83,10 @@ func main() {
 	if *save != "" {
 		path := *save
 		if st, err := os.Stat(path); err == nil && st.IsDir() {
-			path = filepath.Join(path, service.TableFileName(table))
+			path, err = service.SpillPath(path, table)
+			if err != nil {
+				fail(err)
+			}
 		}
 		if err := exact.WriteTableFile(path, table); err != nil {
 			fail(err)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,7 +32,10 @@ func TestSavedTableFeedsDaemon(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	path := filepath.Join(dir, service.TableFileName(table))
+	path, err := service.SpillPath(dir, table)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := exact.WriteTableFile(path, table); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package exact
+
+// OpenTableMapped falls back to an ordinary heap load on platforms
+// without the mmap path. The returned table is heap-owned: Mapped()
+// reports false and Close only updates bookkeeping.
+func OpenTableMapped(path string) (*Table, error) { return ReadTableFile(path) }
+
+func munmapTable(b []byte) error { return nil }

@@ -114,10 +114,17 @@ var _ model.Scheduler = Solver{}
 // Table is a fully materialized optimal-schedule table for a network: the
 // constant-time lookup structure Theorem 2's closing remark describes. It
 // is safe for concurrent lookups once built. Tables come from BuildTable
-// (a fresh DP fill) or from ReadTable (a persisted fill loaded back from
-// disk); the two are bit-identical by construction.
+// (a fresh DP fill), from ReadTable (a persisted fill loaded back from
+// disk) or from OpenTableMapped (the value and choice arrays alias a
+// read-only mmap of the file); all are bit-identical by construction.
+//
+// A mapped table's backing memory lives until Close. Callers that share a
+// table across goroutines while a cache may evict (and Close) it bracket
+// each use with Retain/Release so the unmap is deferred past every
+// in-flight lookup; see the lifecycle methods below.
 type Table struct {
 	dp *DP
+	lc tableLifecycle
 }
 
 // BuildTable analyzes the set, runs the DP over every state and returns

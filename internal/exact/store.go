@@ -32,6 +32,7 @@ package exact
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -42,6 +43,14 @@ import (
 
 	"repro/internal/model"
 )
+
+// ErrBadTable marks a table file rejected by validation — truncated,
+// corrupt, version-skewed or otherwise implausible — as opposed to an
+// I/O error opening, reading or mapping it. ReadTableFile and
+// OpenTableMapped wrap validation failures with it so callers can tell
+// "this file is garbage, stop routing to it" from "the open failed,
+// the file may be fine" (check with errors.Is).
+var ErrBadTable = errors.New("invalid table file")
 
 const (
 	tableMagic = "HNOWTBL\x00"
@@ -402,7 +411,8 @@ func WriteTableFile(path string, t *Table) error {
 	return nil
 }
 
-// ReadTableFile loads a table persisted by WriteTableFile.
+// ReadTableFile loads a table persisted by WriteTableFile. Validation
+// failures (as opposed to read errors) are wrapped with ErrBadTable.
 func ReadTableFile(path string) (*Table, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -410,7 +420,7 @@ func ReadTableFile(path string) (*Table, error) {
 	}
 	t, err := ReadTableBytes(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w: %w", path, ErrBadTable, err)
 	}
 	return t, nil
 }

@@ -85,6 +85,28 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 }
 
+// sweepCaps bounds what one sweep request may ask for: a single
+// unbounded request (billions of trials, enormous instances) would
+// otherwise occupy the worker pool for hours with no way to shed it.
+// Zero fields select the defaults; servers can override via Config.
+type sweepCaps struct {
+	maxTrials int
+	maxN      int
+	maxK      int
+}
+
+func (c *sweepCaps) fill() {
+	if c.maxTrials <= 0 {
+		c.maxTrials = 50000
+	}
+	if c.maxN <= 0 {
+		c.maxN = 2048
+	}
+	if c.maxK <= 0 {
+		c.maxK = 16
+	}
+}
+
 // jobStore owns the sweep jobs: a bounded map of job state plus the
 // goroutines executing them. Finished jobs are retained for polling and
 // evicted oldest-first once the store exceeds its bound; jobs still
@@ -93,6 +115,7 @@ type jobStore struct {
 	ctx            context.Context
 	maxJobs        int
 	defaultWorkers int
+	caps           sweepCaps
 
 	mu     sync.Mutex
 	jobs   map[string]*jobState
@@ -106,11 +129,12 @@ type jobState struct {
 	job Job // guarded by the store mutex
 }
 
-func newJobStore(ctx context.Context, maxJobs, defaultWorkers int) *jobStore {
+func newJobStore(ctx context.Context, maxJobs, defaultWorkers int, caps sweepCaps) *jobStore {
 	if maxJobs < 1 {
 		maxJobs = 64
 	}
-	return &jobStore{ctx: ctx, maxJobs: maxJobs, defaultWorkers: defaultWorkers, jobs: map[string]*jobState{}}
+	caps.fill()
+	return &jobStore{ctx: ctx, maxJobs: maxJobs, defaultWorkers: defaultWorkers, caps: caps, jobs: map[string]*jobState{}}
 }
 
 func (req *SweepRequest) fill() {
@@ -129,6 +153,26 @@ func (js *jobStore) start(req SweepRequest) (Job, error) {
 	req.fill()
 	if req.Trials <= 0 {
 		return Job{}, fmt.Errorf("trials must be positive, got %d", req.Trials)
+	}
+	if req.Trials > js.caps.maxTrials {
+		return Job{}, fmt.Errorf("trials %d exceeds the server cap %d", req.Trials, js.caps.maxTrials)
+	}
+	if req.N > js.caps.maxN {
+		return Job{}, fmt.Errorf("n %d exceeds the server cap %d", req.N, js.caps.maxN)
+	}
+	if req.K > js.caps.maxK {
+		return Job{}, fmt.Errorf("k %d exceeds the server cap %d", req.K, js.caps.maxK)
+	}
+	// The generator draws K distinct send overheads from [1, MaxSend]
+	// (default 64 when the request omits it); a K beyond that range could
+	// never terminate, so reject it up front — the effective default must
+	// be checked too, or a raised SweepMaxK re-opens the livelock.
+	maxSend := req.MaxSend
+	if maxSend <= 0 {
+		maxSend = 64 // cluster.GenConfig's fill() default
+	}
+	if int64(req.K) > maxSend {
+		return Job{}, fmt.Errorf("k %d distinct send overheads cannot be drawn from [1,%d]", req.K, maxSend)
 	}
 	schedulers, err := registry.Select(req.Schedulers, req.Seed)
 	if err != nil {

@@ -8,7 +8,6 @@ import (
 	"net/http"
 
 	"repro/internal/bounds"
-	"repro/internal/exact"
 	"repro/internal/lower"
 	"repro/internal/model"
 	"repro/internal/registry"
@@ -29,18 +28,28 @@ type Config struct {
 	Workers int
 	// MaxJobs bounds the sweep job store (default 64).
 	MaxJobs int
-	// TableCacheSize is the number of materialized DP tables kept warm
-	// (default 4). Tables are whole-network precomputations, so the cache
-	// is intentionally tiny.
-	TableCacheSize int
+	// TableMemBytes is the byte budget for materialized DP tables kept
+	// warm (default 1 GiB). Tables are whole-network precomputations —
+	// mapped ones cost page cache, heap ones cost the Go heap — and the
+	// least recently used are evicted once the budget is exceeded.
+	TableMemBytes int64
 	// TableWorkers is the default fill parallelism for /v1/table builds;
 	// 0 selects GOMAXPROCS.
 	TableWorkers int
 	// TableDir, when non-empty, persists every built DP table to this
-	// directory (atomic temp-file + rename, versioned checksummed format)
-	// and checks it before building, so a restarted daemon keeps its
-	// network precomputations. "" disables the spill.
+	// directory (atomic temp-file + rename, versioned checksummed format,
+	// sharded by hash prefix) and checks it before building, so a
+	// restarted daemon keeps its network precomputations. A flat v1 spill
+	// directory is migrated to the sharded layout at startup. "" disables
+	// the spill.
 	TableDir string
+	// SweepMaxTrials / SweepMaxN / SweepMaxK cap sweep requests (defaults
+	// 50000 trials, 2048 destinations, 16 types): one unbounded sweep
+	// must not wedge the daemon for hours. Oversized requests are
+	// rejected with 422.
+	SweepMaxTrials int
+	SweepMaxN      int
+	SweepMaxK      int
 }
 
 // Server is the hnowd scheduling service: a plan cache over the
@@ -63,17 +72,15 @@ func New(cfg Config) *Server {
 	if cfg.CacheShards <= 0 {
 		cfg.CacheShards = 16
 	}
-	if cfg.TableCacheSize <= 0 {
-		cfg.TableCacheSize = 4
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cache:        NewCache(cfg.CacheSize, cfg.CacheShards),
-		tables:       newTableCache(cfg.TableCacheSize, cfg.TableDir),
+		tables:       newTableCache(cfg.TableMemBytes, cfg.TableDir),
 		tableWorkers: cfg.TableWorkers,
-		jobs:         newJobStore(ctx, cfg.MaxJobs, cfg.Workers),
-		mux:          http.NewServeMux(),
-		cancel:       cancel,
+		jobs: newJobStore(ctx, cfg.MaxJobs, cfg.Workers,
+			sweepCaps{maxTrials: cfg.SweepMaxTrials, maxN: cfg.SweepMaxN, maxK: cfg.SweepMaxK}),
+		mux:    http.NewServeMux(),
+		cancel: cancel,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -313,10 +320,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		// A warm DP table covering this network answers in constant time
 		// (Theorem 2's closing remark); a table persisted to -table-dir
 		// (e.g. before a restart) is loaded without refilling any DP;
-		// otherwise fall back to a one-off DP solve.
+		// otherwise fall back to a one-off DP solve — single-flighted and
+		// result-cached, so N concurrent cold compares of one network run
+		// one DP, not N, and never more than the build bound at once.
 		if opt, ok := s.tables.lookupSetAny(canon); ok {
 			resp.Optimal = &opt
-		} else if opt, err := exact.OptimalRT(canon); err == nil {
+		} else if opt, err := s.tables.optimalRT(canon); err == nil {
 			resp.Optimal = &opt
 		}
 	}

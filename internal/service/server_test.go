@@ -290,7 +290,7 @@ func waitJob(t *testing.T, svc *Server, id string) Job {
 }
 
 func TestCloseCancelsRunningSweep(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc := New(Config{Workers: 1, SweepMaxTrials: 500000})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
@@ -310,6 +310,30 @@ func TestCloseCancelsRunningSweep(t *testing.T) {
 	}
 	if got.Status == JobRunning {
 		t.Errorf("job still running after Close: %+v", got)
+	}
+}
+
+// TestSweepRequestCaps: one oversized sweep request must not wedge the
+// daemon — Trials/N/K beyond the server caps are rejected with 422, and
+// a K the generator could never satisfy is rejected up front.
+func TestSweepRequestCaps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]SweepRequest{
+		"trials":       {Trials: 50001},
+		"n":            {Trials: 1, N: 4096},
+		"k":            {Trials: 1, K: 64},
+		"k vs maxsend": {Trials: 1, K: 8, MaxSend: 4},
+	} {
+		resp, body := post(t, ts.URL+"/v1/sweeps", req)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: HTTP %d (%s), want 422", name, resp.StatusCode, body)
+		}
+	}
+	// Config overrides raise the cap.
+	_, ts2 := newTestServer(t, Config{Workers: 1, SweepMaxTrials: 100000})
+	resp, body := post(t, ts2.URL+"/v1/sweeps", SweepRequest{Trials: 60000, N: 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("override: HTTP %d (%s), want 202", resp.StatusCode, body)
 	}
 }
 

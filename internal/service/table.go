@@ -1,9 +1,8 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -22,8 +21,20 @@ var (
 	expTableBuilds     = expvar.NewInt("hnowd.table.builds")
 	expTableHits       = expvar.NewInt("hnowd.table.hits")
 	expTableDiskHits   = expvar.NewInt("hnowd.table.disk_hits")
+	expTableDiskLoads  = expvar.NewInt("hnowd.table.disk_loads")
 	expTableDiskWrites = expvar.NewInt("hnowd.table.disk_writes")
 	expTableDiskErrors = expvar.NewInt("hnowd.table.disk_errors")
+	expTableEvictions  = expvar.NewInt("hnowd.table.evictions")
+	// expTableMappedBytes / expTableHeapBytes gauge the bytes of cached
+	// tables by ownership: mapped tables cost page cache, heap tables cost
+	// the Go heap. Both count toward the one TableMemBytes budget.
+	expTableMappedBytes = expvar.NewInt("hnowd.table.mapped_bytes")
+	expTableHeapBytes   = expvar.NewInt("hnowd.table.heap_bytes")
+	// expOptSolves / expOptHits count /v1/compare's optimal-RT fallback:
+	// one-off DP solves actually run vs. answers served from the scalar
+	// result cache.
+	expOptSolves = expvar.NewInt("hnowd.table.opt_solves")
+	expOptHits   = expvar.NewInt("hnowd.table.opt_hits")
 )
 
 // Table source labels reported in TableResponse.Cache.
@@ -66,6 +77,12 @@ type TableResponse struct {
 	OptimalRT int64 `json:"optimal_rt"`
 	// BuildMillis is the wall-clock fill time; 0 on a cache or disk hit.
 	BuildMillis int64 `json:"build_ms"`
+	// Mapped reports whether the warm table's arrays alias a read-only
+	// file mapping (the mmap load path) rather than heap memory.
+	Mapped bool `json:"mapped,omitempty"`
+	// SizeBytes is the table's resident cost against the server's table
+	// memory budget (mapping length when mapped, array bytes otherwise).
+	SizeBytes int64 `json:"size_bytes"`
 }
 
 // FromDisk reports whether the table was warmed from the persisted spill
@@ -94,202 +111,333 @@ func networkKey(latency int64, types []exact.Type, counts []int) string {
 	return b.String()
 }
 
-// tableFileName is the canonical spill file name for a network key: the
-// key hashed (keys grow with the type inventory) plus the table
-// extension. The name is only a locator; loadFromDisk re-derives the key
-// from the file header before trusting a file.
-func tableFileName(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return hex.EncodeToString(sum[:8]) + ".hnowtbl"
-}
-
-// TableFileName returns the spill file name the service expects for this
-// table inside its -table-dir. cmd/hnowtable uses it so CLI-built tables
-// (hnowtable -save <dir>) are found by a daemon pointed at the same
-// directory.
-func TableFileName(t *exact.Table) string {
-	return tableFileName(networkKey(t.Latency(), t.Types(), t.Counts()))
-}
-
-// tableCache is a small LRU of materialized DP tables. Tables are orders
-// of magnitude bigger than plans, so the cache holds a handful of whole
-// networks rather than thousands of entries; per-key in-flight tracking
-// makes concurrent warms of the same network build once, while distinct
-// networks build in parallel.
-// maxConcurrentTableBuilds bounds the table fills in flight across keys.
-// One table can reach ~1 GiB at the MaxStates limit, so unlike the plan
-// cache the memory risk is per-build, not per-entry: distinct networks
-// build concurrently up to this cap and queue beyond it.
+// maxConcurrentTableBuilds bounds the DP fills in flight across keys —
+// full table builds and /v1/compare's one-off optimal solves alike. One
+// table can reach ~1 GiB at the MaxStates limit, so the memory risk is
+// per-build, not per-entry: distinct networks build concurrently up to
+// this cap and queue beyond it.
 const maxConcurrentTableBuilds = 2
 
+// defaultTableMemBytes is the default byte budget for cached tables.
+const defaultTableMemBytes = int64(1) << 30
+
+// optResultCap bounds the scalar optimal-RT result cache (key + int64
+// per entry, so even the cap is only a few hundred KiB).
+const optResultCap = 4096
+
+// tableCache holds materialized DP tables under a byte budget (tables
+// are orders of magnitude bigger than plans, so the budget usually
+// admits a handful of whole networks). Per-key in-flight tracking makes
+// concurrent warms of the same network load or build once — including
+// propagating a failure to everyone who was waiting on it — while
+// distinct networks proceed in parallel. Tables are borrowed with
+// Retain/Release so evicting a mapped table never unmaps memory a
+// concurrent lookup is still reading.
 type tableCache struct {
 	mu       sync.Mutex
-	cap      int
+	maxBytes int64
+	bytes    int64
 	dir      string       // "" = no disk spill
 	entries  []tableEntry // front = most recently used
-	building map[string]chan struct{}
+	inflight map[string]*tableFlight
 	buildSem chan struct{}
+	index    *spillIndex // nil when dir == ""
+
+	// optimal-RT fallback: single-flight plus a bounded scalar cache, so
+	// N concurrent cold compares of one network run one DP, and repeats
+	// don't re-run it at all.
+	optMu     sync.Mutex
+	optFlight map[string]*optFlight
+	opt       map[string]int64
+	optOrder  []string // insertion order, for bounded eviction
 }
 
 type tableEntry struct {
 	key   string
 	table *exact.Table
+	bytes int64
 }
 
-func newTableCache(capacity int, dir string) *tableCache {
-	if capacity < 1 {
-		capacity = 1
+// tableFlight is one in-flight load or build: waiters block on done and
+// then read the outcome instead of redoing the work. table == nil with a
+// nil err means a disk load found nothing usable (a getOrBuild waiter
+// may still build); err records a build failure, propagated to the
+// cohort that was waiting on it.
+type tableFlight struct {
+	done  chan struct{}
+	table *exact.Table
+	err   error
+}
+
+type optFlight struct {
+	done chan struct{}
+	rt   int64
+	err  error
+}
+
+func newTableCache(maxBytes int64, dir string) *tableCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultTableMemBytes
+	}
+	c := &tableCache{
+		maxBytes:  maxBytes,
+		dir:       dir,
+		inflight:  make(map[string]*tableFlight),
+		buildSem:  make(chan struct{}, maxConcurrentTableBuilds),
+		optFlight: make(map[string]*optFlight),
+		opt:       make(map[string]int64),
 	}
 	if dir != "" {
 		// Best effort: a failed mkdir surfaces as disk_errors on first use.
 		os.MkdirAll(dir, 0o755)
+		if _, err := MigrateSpillDir(dir); err != nil {
+			expTableDiskErrors.Add(1)
+		}
+		c.index = newSpillIndex(dir)
 	}
-	return &tableCache{
-		cap:      capacity,
-		dir:      dir,
-		building: make(map[string]chan struct{}),
-		buildSem: make(chan struct{}, maxConcurrentTableBuilds),
-	}
+	return c
 }
 
-// loadFromDisk tries the spill directory for a persisted table matching
-// key. The file header is validated against the key (the name is only a
-// hash locator), so a stale, renamed or foreign file is never trusted.
+// loadFromDisk tries the spill for a persisted table matching key,
+// preferring the mmap load path. The index routes: it was built from a
+// full scan at startup and is maintained on every write, so covering
+// queries never touch the directory. An exact-key miss still probes the
+// key's canonical sharded path — one open syscall, usually ENOENT — so
+// a table dropped into a running daemon's -table-dir by a CLI pre-build
+// is found (and indexed) without a restart. The file header is validated
+// against the key (the name is only a hash locator), so a stale, renamed
+// or foreign file is never trusted. An indexed file that turns out
+// missing or invalid is dropped from the index so covering queries stop
+// routing to it; a transient open/map failure (fd pressure, ENOMEM)
+// keeps the entry — the file is presumed fine and will be retried.
 func (c *tableCache) loadFromDisk(key string) (*exact.Table, bool) {
-	if c.dir == "" {
+	if c.index == nil {
 		return nil, false
 	}
-	data, err := os.ReadFile(filepath.Join(c.dir, tableFileName(key)))
+	path := c.index.pathFor(key)
+	probe := path == ""
+	if probe {
+		path = filepath.Join(c.dir, spillRel(key))
+	}
+	t, err := exact.OpenTableMapped(path)
 	if err != nil {
-		if !os.IsNotExist(err) {
-			expTableDiskErrors.Add(1)
+		if errors.Is(err, os.ErrNotExist) {
+			if !probe {
+				c.index.remove(key) // stale entry: the file is gone
+			}
+			return nil, false
+		}
+		expTableDiskLoads.Add(1)
+		expTableDiskErrors.Add(1)
+		if !probe && errors.Is(err, exact.ErrBadTable) {
+			c.index.remove(key) // broken file: stop covering routes to it
 		}
 		return nil, false
 	}
-	t, err := exact.ReadTableBytes(data)
-	if err != nil {
-		expTableDiskErrors.Add(1)
-		return nil, false
-	}
+	expTableDiskLoads.Add(1)
 	if networkKey(t.Latency(), t.Types(), t.Counts()) != key {
 		expTableDiskErrors.Add(1)
+		t.Close()
+		if !probe {
+			c.index.remove(key)
+		}
 		return nil, false
+	}
+	if probe {
+		// Found out-of-band (written after startup): index it so covering
+		// queries see it too.
+		c.index.put(key, path, &exact.TableHeader{
+			Latency: t.Latency(), Types: t.Types(), Counts: t.Counts(), Planes: t.Planes(),
+		})
 	}
 	expTableDiskHits.Add(1)
 	return t, true
 }
 
-// saveToDisk spills a freshly built table (atomic temp-file + rename).
-// Failures only count toward disk_errors: persistence is an optimization,
-// never a reason to fail the build that produced the table.
+// saveToDisk spills a freshly built table into the sharded layout
+// (atomic temp-file + rename) and records it in the index. Failures only
+// count toward disk_errors: persistence is an optimization, never a
+// reason to fail the build that produced the table.
 func (c *tableCache) saveToDisk(key string, t *exact.Table) {
 	if c.dir == "" {
 		return
 	}
-	if err := exact.WriteTableFile(filepath.Join(c.dir, tableFileName(key)), t); err != nil {
+	path := filepath.Join(c.dir, spillRel(key))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		expTableDiskErrors.Add(1)
+		return
+	}
+	if err := exact.WriteTableFile(path, t); err != nil {
 		expTableDiskErrors.Add(1)
 		return
 	}
 	expTableDiskWrites.Add(1)
+	if c.index != nil {
+		c.index.put(key, path, &exact.TableHeader{
+			Latency: t.Latency(), Types: t.Types(), Counts: t.Counts(), Planes: t.Planes(),
+		})
+	}
 }
 
-// get returns the cached table for key, refreshing its recency.
-func (c *tableCache) get(key string) (*exact.Table, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.getLocked(key)
-}
-
-func (c *tableCache) getLocked(key string) (*exact.Table, bool) {
+// retainLocked returns the cached table for key with a borrow taken and
+// its recency refreshed. Callers must Release the table when done.
+func (c *tableCache) retainLocked(key string) (*exact.Table, bool) {
 	for i, e := range c.entries {
 		if e.key == key {
 			copy(c.entries[1:i+1], c.entries[:i])
 			c.entries[0] = e
+			e.table.Retain()
 			return e.table, true
 		}
 	}
 	return nil, false
 }
 
-func (c *tableCache) put(key string, t *exact.Table) {
+// get returns the cached table for key with a borrow taken (Release when
+// done), refreshing its recency.
+func (c *tableCache) get(key string) (*exact.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.retainLocked(key)
+}
+
+// addBytesGauge tracks cached-table bytes by ownership (delta may be
+// negative on eviction).
+func addBytesGauge(t *exact.Table, delta int64) {
+	if t.Mapped() {
+		expTableMappedBytes.Add(delta)
+	} else {
+		expTableHeapBytes.Add(delta)
+	}
+}
+
+// putLocked inserts a table (transferring the creator's ownership to the
+// cache) and evicts least-recently-used entries until the byte budget
+// holds. The newest entry always stays, even alone over budget —
+// otherwise an oversized network would thrash instead of serving.
+// Evicted tables are closed; a mapped table's memory lives on until the
+// last in-flight borrow releases it.
+func (c *tableCache) putLocked(key string, t *exact.Table) {
+	bytes := t.SizeBytes()
 	for i, e := range c.entries {
 		if e.key == key {
 			copy(c.entries[1:i+1], c.entries[:i])
-			c.entries[0] = tableEntry{key: key, table: t}
+			c.entries[0] = tableEntry{key: key, table: t, bytes: bytes}
+			c.bytes += bytes - e.bytes
+			addBytesGauge(t, bytes)
+			addBytesGauge(e.table, -e.bytes)
+			e.table.Close()
+			c.evictLocked()
 			return
 		}
 	}
-	if len(c.entries) < c.cap {
-		c.entries = append(c.entries, tableEntry{})
-	}
+	c.entries = append(c.entries, tableEntry{})
 	copy(c.entries[1:], c.entries[:len(c.entries)-1])
-	c.entries[0] = tableEntry{key: key, table: t}
+	c.entries[0] = tableEntry{key: key, table: t, bytes: bytes}
+	c.bytes += bytes
+	addBytesGauge(t, bytes)
+	c.evictLocked()
+}
+
+func (c *tableCache) evictLocked() {
+	for len(c.entries) > 1 && c.bytes > c.maxBytes {
+		last := len(c.entries) - 1
+		e := c.entries[last]
+		c.entries[last] = tableEntry{}
+		c.entries = c.entries[:last]
+		c.bytes -= e.bytes
+		addBytesGauge(e.table, -e.bytes)
+		expTableEvictions.Add(1)
+		e.table.Close()
+	}
+}
+
+// put inserts a table built outside the single-flight paths (tests).
+func (c *tableCache) put(key string, t *exact.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, t)
 }
 
 // lookupSet answers a multicast from any cached table that covers it (the
-// constant-time path for /v1/compare's exact optimum).
+// constant-time path for /v1/compare's exact optimum). Every candidate is
+// borrowed for the duration of its lookup, so a concurrent eviction
+// cannot unmap memory mid-read.
 func (c *tableCache) lookupSet(set *model.MulticastSet) (int64, bool) {
 	c.mu.Lock()
 	tables := make([]*exact.Table, len(c.entries))
 	for i, e := range c.entries {
+		e.table.Retain()
 		tables[i] = e.table
 	}
 	c.mu.Unlock()
+	rt, ok := int64(0), false
 	for _, t := range tables {
-		if rt, ok := t.LookupSet(set); ok {
-			expTableHits.Add(1)
-			return rt, true
+		if !ok {
+			if v, o := t.LookupSet(set); o {
+				rt, ok = v, true
+				expTableHits.Add(1)
+			}
 		}
+		t.Release()
 	}
-	return 0, false
+	return rt, ok
 }
 
 // loadKeyed is the single-flighted disk load: concurrent callers of the
-// same key (or a build of it, via the shared building map) do the read,
-// checksum and choice validation once; everyone else waits and takes the
-// promoted in-memory entry.
+// same key (or a build of it, via the shared in-flight map) do the read,
+// checksum and choice validation once. Everyone who was waiting shares
+// the outcome — on success the promoted in-memory entry, on failure the
+// negative result, so a broken or missing file costs the cohort one read
+// attempt, not one per waiter. The returned table is borrowed: Release
+// when done.
 func (c *tableCache) loadKeyed(key string) (*exact.Table, bool) {
 	for {
 		c.mu.Lock()
-		if t, ok := c.getLocked(key); ok {
+		if t, ok := c.retainLocked(key); ok {
 			c.mu.Unlock()
 			expTableHits.Add(1)
 			return t, true
 		}
-		if ch, ok := c.building[key]; ok {
+		if fl, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
-			<-ch // a load or build of this network is in flight
-			continue
+			<-fl.done
+			if fl.table == nil {
+				return nil, false // share the cohort's negative result
+			}
+			continue // promoted to the cache; borrow it under the lock
 		}
-		ch := make(chan struct{})
-		c.building[key] = ch
+		fl := &tableFlight{done: make(chan struct{})}
+		c.inflight[key] = fl
 		c.mu.Unlock()
+
 		t, ok := c.loadFromDisk(key)
-		if ok {
-			c.put(key, t)
-		}
 		c.mu.Lock()
-		delete(c.building, key)
+		if ok {
+			c.putLocked(key, t)
+			t.Retain()
+			fl.table = t
+		}
+		delete(c.inflight, key)
 		c.mu.Unlock()
-		close(ch)
+		close(fl.done)
 		return t, ok
 	}
 }
 
 // lookupSetAny is lookupSet with a disk fallback: a set not covered by
 // any in-memory table is answered from the spill — first the file keyed
-// by the set's own inventory, then a header scan of the directory for
-// any persisted network that covers the set (the disk analogue of
+// by the set's own inventory, then the in-memory spill index for any
+// persisted network that covers the set (the disk analogue of
 // lookupSet's covering semantics, so a restart keeps serving
-// sub-multicasts too). The covering table is promoted into the in-memory
-// cache; no DP is ever refilled here.
+// sub-multicasts too) with zero directory or header I/O. The covering
+// table is promoted into the in-memory cache; no DP is ever refilled
+// here.
 func (c *tableCache) lookupSetAny(set *model.MulticastSet) (int64, bool) {
 	if rt, ok := c.lookupSet(set); ok {
 		return rt, true
 	}
-	if c.dir == "" {
+	if c.index == nil {
 		return 0, false
 	}
 	inst, err := exact.Analyze(set)
@@ -298,32 +446,23 @@ func (c *tableCache) lookupSetAny(set *model.MulticastSet) (int64, bool) {
 	}
 	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
 	if t, ok := c.loadKeyed(key); ok {
-		if rt, err := t.Lookup(inst.SourceType, inst.Counts); err == nil {
+		rt, err := t.Lookup(inst.SourceType, inst.Counts)
+		t.Release()
+		if err == nil {
 			return rt, true
 		}
 		return 0, false
 	}
-	// No exact-inventory file; scan headers (two small reads per file,
-	// payloads untouched) for a covering network.
-	entries, err := os.ReadDir(c.dir)
-	if err != nil {
-		return 0, false
-	}
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".hnowtbl" {
-			continue
-		}
-		h, err := exact.ReadTableHeaderFile(filepath.Join(c.dir, e.Name()))
-		if err != nil || !h.Covers(set) {
-			continue
-		}
-		// The header is only a routing hint; the keyed load re-reads and
-		// fully validates (checksum, choices) before anything is trusted.
-		t, ok := c.loadKeyed(networkKey(h.Latency, h.Types, h.Counts))
+	// No exact-inventory file; consult the index (in-memory Covers
+	// checks — the disk is only touched to load a match).
+	for _, coverKey := range c.index.coveringKeys(set) {
+		t, ok := c.loadKeyed(coverKey)
 		if !ok {
 			continue
 		}
-		if rt, ok := t.LookupSet(set); ok {
+		rt, ok := t.LookupSet(set)
+		t.Release()
+		if ok {
 			return rt, true
 		}
 	}
@@ -333,35 +472,42 @@ func (c *tableCache) lookupSetAny(set *model.MulticastSet) (int64, bool) {
 // getOrBuild returns the table for the analyzed instance, checking the
 // in-memory cache, then the disk spill, then building (with the given
 // fill parallelism) — at most once per key: concurrent warms of the same
-// network wait for the in-flight load/build, while distinct networks
-// proceed in parallel. The returned source is one of TableCacheHit,
-// TableCacheDisk or TableCacheMiss.
+// network wait for the in-flight load/build and share its outcome (a
+// build failure is returned to every waiter rather than retried by each),
+// while distinct networks proceed in parallel. The returned source is one
+// of TableCacheHit, TableCacheDisk or TableCacheMiss; the table is
+// borrowed and must be Released by the caller.
 func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table, string, string, time.Duration, error) {
 	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
 	for {
 		c.mu.Lock()
-		if t, ok := c.getLocked(key); ok {
+		if t, ok := c.retainLocked(key); ok {
 			c.mu.Unlock()
 			expTableHits.Add(1)
 			return t, key, TableCacheHit, 0, nil
 		}
-		if ch, ok := c.building[key]; ok {
+		if fl, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
-			<-ch // someone else is loading/building this network; wait and re-check
-			continue
+			<-fl.done
+			if fl.err != nil {
+				return nil, key, TableCacheMiss, 0, fl.err
+			}
+			continue // loaded or built by someone else; take it from the cache
 		}
-		// The cache re-check and builder registration share one critical
+		// The cache re-check and flight registration share one critical
 		// section, so a load/build finishing between them cannot be redone.
-		ch := make(chan struct{})
-		c.building[key] = ch
+		fl := &tableFlight{done: make(chan struct{})}
+		c.inflight[key] = fl
 		c.mu.Unlock()
 
 		if t, ok := c.loadFromDisk(key); ok {
-			c.put(key, t)
 			c.mu.Lock()
-			delete(c.building, key)
+			c.putLocked(key, t)
+			t.Retain()
+			fl.table = t
+			delete(c.inflight, key)
 			c.mu.Unlock()
-			close(ch)
+			close(fl.done)
 			return t, key, TableCacheDisk, 0, nil
 		}
 
@@ -369,20 +515,75 @@ func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table
 		start := time.Now()
 		t, err := exact.BuildTableParallel(inst.Set, workers)
 		<-c.buildSem
-		if err == nil {
-			expTableBuilds.Add(1)
-			c.put(key, t)
-			c.saveToDisk(key, t)
-		}
-		c.mu.Lock()
-		delete(c.building, key)
-		c.mu.Unlock()
-		close(ch) // waiters re-check the cache (and rebuild on our failure)
 		if err != nil {
+			c.mu.Lock()
+			fl.err = err
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
 			return nil, key, TableCacheMiss, 0, err
 		}
+		expTableBuilds.Add(1)
+		c.mu.Lock()
+		c.putLocked(key, t)
+		t.Retain()
+		fl.table = t
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fl.done)
+		c.saveToDisk(key, t)
 		return t, key, TableCacheMiss, time.Since(start), nil
 	}
+}
+
+// optimalRT is /v1/compare's exact-optimum fallback when no table covers
+// the set: a one-off DP solve, single-flighted per (network, source) so N
+// concurrent cold compares run one DP instead of N, bounded by the same
+// build semaphore as full table fills, with the scalar result kept in a
+// small cache so repeats skip the solve entirely.
+func (c *tableCache) optimalRT(canon *model.MulticastSet) (int64, error) {
+	inst, err := exact.Analyze(canon)
+	if err != nil {
+		return 0, err
+	}
+	// The table networkKey covers every source type; a scalar result is
+	// one source's optimum, so the key pins the source type too.
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts) + "|s=" + strconv.Itoa(inst.SourceType)
+	c.optMu.Lock()
+	if rt, ok := c.opt[key]; ok {
+		c.optMu.Unlock()
+		expOptHits.Add(1)
+		return rt, nil
+	}
+	if fl, ok := c.optFlight[key]; ok {
+		c.optMu.Unlock()
+		<-fl.done
+		return fl.rt, fl.err // the cohort shares one DP solve (or its failure)
+	}
+	fl := &optFlight{done: make(chan struct{})}
+	c.optFlight[key] = fl
+	c.optMu.Unlock()
+
+	c.buildSem <- struct{}{} // one-off DP solves share the build bound
+	rt, err := exact.OptimalRT(canon)
+	<-c.buildSem
+	expOptSolves.Add(1)
+
+	c.optMu.Lock()
+	if err == nil {
+		if len(c.opt) >= optResultCap {
+			oldest := c.optOrder[0]
+			c.optOrder = c.optOrder[1:]
+			delete(c.opt, oldest)
+		}
+		c.opt[key] = rt
+		c.optOrder = append(c.optOrder, key)
+	}
+	delete(c.optFlight, key)
+	c.optMu.Unlock()
+	fl.rt, fl.err = rt, err
+	close(fl.done)
+	return rt, err
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -411,6 +612,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	defer table.Release()
 	opt, err := table.Lookup(inst.SourceType, inst.Counts)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -424,5 +626,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		Counts:      table.Counts(),
 		OptimalRT:   opt,
 		BuildMillis: buildTime.Milliseconds(),
+		Mapped:      table.Mapped(),
+		SizeBytes:   table.SizeBytes(),
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/exact"
 	"repro/internal/model"
@@ -115,8 +116,7 @@ func TestCompareUsesWarmTable(t *testing.T) {
 	}
 }
 
-func TestTableCacheEviction(t *testing.T) {
-	c := newTableCache(2, "")
+func TestTableCacheByteBudgetEviction(t *testing.T) {
 	mk := func(latency int64) *exact.Table {
 		set, err := model.NewMulticastSet(latency, model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1})
 		if err != nil {
@@ -128,25 +128,53 @@ func TestTableCacheEviction(t *testing.T) {
 		}
 		return tab
 	}
+	// Same geometry for every table, so the budget admits exactly two.
+	size := mk(9).SizeBytes()
+	c := newTableCache(2*size, "")
+	get := func(key string) bool {
+		tab, ok := c.get(key)
+		if ok {
+			tab.Release()
+		}
+		return ok
+	}
 	c.put("a", mk(1))
 	c.put("b", mk(2))
-	if _, ok := c.get("a"); !ok {
+	if c.bytes != 2*size {
+		t.Fatalf("cache accounts %d bytes, want %d", c.bytes, 2*size)
+	}
+	if !get("a") {
 		t.Fatal("a evicted prematurely")
 	}
-	c.put("c", mk(3)) // evicts b (least recently used after the get of a)
-	if _, ok := c.get("b"); ok {
+	c.put("c", mk(3)) // over budget: evicts b (least recently used after the get of a)
+	if get("b") {
 		t.Error("b not evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if !get("a") {
 		t.Error("a lost")
 	}
-	if _, ok := c.get("c"); !ok {
+	if !get("c") {
 		t.Error("c lost")
+	}
+	if c.bytes != 2*size {
+		t.Errorf("cache accounts %d bytes after eviction, want %d", c.bytes, 2*size)
+	}
+	// A table bigger than the whole budget is still admitted (alone):
+	// the newest entry never self-evicts.
+	tiny := newTableCache(1, "")
+	tiny.put("big", mk(4))
+	if tab, ok := tiny.get("big"); !ok {
+		t.Error("oversized table not admitted")
+	} else {
+		tab.Release()
+	}
+	if len(tiny.entries) != 1 {
+		t.Errorf("tiny cache holds %d entries, want 1", len(tiny.entries))
 	}
 }
 
 func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
-	c := newTableCache(2, "")
+	c := newTableCache(0, "")
 	set, err := model.NewMulticastSet(1,
 		model.Node{Send: 2, Recv: 3},
 		model.Node{Send: 1, Recv: 1}, model.Node{Send: 1, Recv: 1}, model.Node{Send: 2, Recv: 3})
@@ -171,6 +199,8 @@ func TestTableConcurrentWarmBuildsOnce(t *testing.T) {
 			}
 			if tab == nil {
 				t.Error("nil table")
+			} else {
+				tab.Release()
 			}
 			if source == TableCacheHit {
 				hits.Add(1)
@@ -218,12 +248,21 @@ func TestTableDirRestartServesFromDisk(t *testing.T) {
 	if got := expTableDiskWrites.Value(); got != writesBefore+1 {
 		t.Fatalf("disk writes moved by %d, want 1", got-writesBefore)
 	}
+	// The spill is sharded: one two-hex-digit shard directory holding the
+	// table file.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".hnowtbl" {
-		t.Fatalf("spill dir holds %v, want one .hnowtbl file", entries)
+	if len(entries) != 1 || !entries[0].IsDir() || len(entries[0].Name()) != 2 {
+		t.Fatalf("spill dir holds %v, want one shard subdirectory", entries)
+	}
+	shard, err := os.ReadDir(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard) != 1 || filepath.Ext(shard[0].Name()) != ".hnowtbl" {
+		t.Fatalf("shard holds %v, want one .hnowtbl file", shard)
 	}
 
 	// Restarted daemon, same -table-dir: the first /v1/compare optimal
@@ -349,11 +388,11 @@ func TestTableDirIgnoresCorruptSpill(t *testing.T) {
 	ts1.Close()
 	svc1.Close()
 
-	entries, err := os.ReadDir(dir)
-	if err != nil || len(entries) != 1 {
-		t.Fatalf("spill dir: %v, %v", entries, err)
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.hnowtbl"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("spill dir: %v, %v", matches, err)
 	}
-	path := filepath.Join(dir, entries[0].Name())
+	path := matches[0]
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -383,6 +422,145 @@ func TestTableDirIgnoresCorruptSpill(t *testing.T) {
 	}
 	if expTableDiskErrors.Value() == errsBefore {
 		t.Error("corrupt spill not counted as a disk error")
+	}
+}
+
+// TestCompareOptimalColdSingleFlight: with no warm table covering the
+// network, concurrent /v1/compare {optimal:true} requests for the same
+// instance must run ONE DP solve, not one per request — and a repeat is
+// served from the scalar result cache without any solve.
+func TestCompareOptimalColdSingleFlight(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	set := tableTestSet(t)
+	want, err := exact.OptimalRT(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvesBefore := expOptSolves.Value()
+	const concurrent = 8
+	var wg sync.WaitGroup
+	optima := make([]int64, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/compare", CompareRequest{Set: rawSet(t, set), Optimal: true})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("compare %d: HTTP %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			var cr CompareResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				t.Error(err)
+				return
+			}
+			if cr.Optimal == nil {
+				t.Errorf("compare %d omitted the optimal", i)
+				return
+			}
+			optima[i] = *cr.Optimal
+		}(i)
+	}
+	wg.Wait()
+	if got := expOptSolves.Value() - solvesBefore; got != 1 {
+		t.Errorf("%d concurrent cold compares ran %d DP solves, want 1", concurrent, got)
+	}
+	for i, got := range optima {
+		if got != want {
+			t.Errorf("compare %d optimal = %d, want %d", i, got, want)
+		}
+	}
+
+	// A later compare of the same instance is a scalar-cache hit: no solve.
+	solvesBefore = expOptSolves.Value()
+	hitsBefore := expOptHits.Value()
+	resp, body := post(t, ts.URL+"/v1/compare", CompareRequest{Set: rawSet(t, set), Optimal: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat compare: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := expOptSolves.Value() - solvesBefore; got != 0 {
+		t.Errorf("repeat compare ran %d DP solves, want 0", got)
+	}
+	if got := expOptHits.Value() - hitsBefore; got != 1 {
+		t.Errorf("repeat compare moved opt hits by %d, want 1", got)
+	}
+}
+
+// TestLoadFailureSharedWithCohort pins the loadKeyed dogpile fix: every
+// waiter woken by a failed disk load must take the negative result from
+// the shared flight instead of repeating the read + checksum pass.
+func TestLoadFailureSharedWithCohort(t *testing.T) {
+	dir := t.TempDir()
+	set := Canonicalize(tableTestSet(t))
+	inst, err := exact.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
+	// A spilled table whose payload is corrupt: the header scan indexes
+	// it, the full load rejects it.
+	func() {
+		c := newTableCache(0, dir)
+		tab, _, _, _, err := c.getOrBuild(inst, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.Release()
+	}()
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.hnowtbl"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("spill: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTableCache(0, dir)
+	// Park waiters on a hand-registered flight, then resolve it as a
+	// failure: everyone must return false without touching the disk.
+	fl := &tableFlight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	const waiters = 6
+	var wg sync.WaitGroup
+	results := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ok := c.loadKeyed(key)
+			results <- ok
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let the waiters park on fl.done
+	// Remove the file and its index entry before resolving the flight, so
+	// even a waiter unluckily scheduled after the close (which would
+	// legitimately retry as a fresh loader) probes ENOENT and counts no
+	// disk load — the assertion below is deterministic either way.
+	if err := os.Remove(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.index.remove(key)
+	loadsBefore := expTableDiskLoads.Value()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(fl.done) // fl.table == nil: the load failed
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			t.Error("waiter reported a table from a failed load")
+		}
+	}
+	if got := expTableDiskLoads.Value() - loadsBefore; got != 0 {
+		t.Errorf("cohort waiters did %d disk loads after the shared failure, want 0", got)
 	}
 }
 
