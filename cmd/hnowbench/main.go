@@ -7,12 +7,17 @@
 //	hnowbench                  # run everything
 //	hnowbench -experiment E4   # one experiment
 //	hnowbench -trials 200      # widen the sampled experiments
-//	hnowbench -json            # run the perf suite, write BENCH_dp.json
+//	hnowbench -json            # run the perf suites, write BENCH_dp.json
+//	                           # and BENCH_engine.json
 //
-// The -json mode runs the hot-path performance suite (exact DP table
-// fills, sequential and parallel, against the retained seed recursive
-// solver; heuristic search loops) and emits machine-readable results so
-// the perf trajectory is tracked in-repo across PRs.
+// The -json mode runs the hot-path performance suites and emits
+// machine-readable results so the perf trajectory is tracked in-repo
+// across PRs: BENCH_dp.json covers the exact DP (table fills, sequential
+// and parallel, against the retained seed recursive solver) and the
+// heuristic loops end-to-end; BENCH_engine.json puts the two
+// move-evaluation strategies head to head — batched Engine.EvalMoves
+// over a whole swap neighborhood vs mutate + Times.RecomputeFrom + undo
+// per candidate — and records the ns/move speedup.
 package main
 
 import (
@@ -33,14 +38,21 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: E1..E15 or 'all'")
 	trials := flag.Int("trials", 0, "trial count for sampled experiments (0 = default)")
-	jsonMode := flag.Bool("json", false, "run the perf suite and emit JSON instead of experiments")
-	out := flag.String("out", "BENCH_dp.json", "output path for -json (\"-\" for stdout)")
+	jsonMode := flag.Bool("json", false, "run the perf suites and emit JSON instead of experiments")
+	out := flag.String("out", "BENCH_dp.json", "output path of the DP suite for -json (\"-\" for stdout)")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "output path of the engine suite for -json (\"-\" for stdout, \"\" to skip)")
 	flag.Parse()
 
 	if *jsonMode {
 		if err := runPerfSuite(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *engineOut != "" {
+			if err := runEngineSuite(*engineOut); err != nil {
+				fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -122,12 +134,14 @@ func k2n40() *model.MulticastSet {
 	return &model.MulticastSet{Latency: 1, Nodes: nodes}
 }
 
-func heurSet() (*model.MulticastSet, error) {
-	// Deterministic 64-destination, 3-type instance mirroring the heur
-	// package benchmarks.
+func heurSet() (*model.MulticastSet, error) { return heurSetN(64) }
+
+// heurSetN builds a deterministic n-destination, 3-type instance
+// mirroring the heur package benchmarks.
+func heurSetN(n int) (*model.MulticastSet, error) {
 	types := []model.Node{{Send: 2, Recv: 2}, {Send: 3, Recv: 5}, {Send: 5, Recv: 8}}
 	nodes := []model.Node{types[0]}
-	for i := 0; i < 64; i++ {
+	for i := 0; i < n; i++ {
 		nodes = append(nodes, types[i%3])
 	}
 	set := &model.MulticastSet{Latency: 2, Nodes: nodes}
@@ -297,5 +311,165 @@ func runPerfSuite(out string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (fillall speedup vs seed recursive solver: %.1fx)\n",
 		out, report.SpeedupFillAllVsReference)
+	return nil
+}
+
+// engineBenchResult is one engine-suite measurement. NsPerMove divides
+// the op time by the neighborhood size for the head-to-head cases.
+type engineBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerMove   float64 `json:"ns_per_move,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// engineReport is the BENCH_engine.json document. The speedup fields are
+// the acceptance metric of the structure-of-arrays engine: batched
+// EvalMoves ns/move vs the per-move mutate + RecomputeFrom + undo path
+// on the same swap neighborhood.
+type engineReport struct {
+	Tool                 string              `json:"tool"`
+	GoOS                 string              `json:"goos"`
+	GoArch               string              `json:"goarch"`
+	GoMaxProcs           int                 `json:"gomaxprocs"`
+	Results              []engineBenchResult `json:"results"`
+	SpeedupEvalMovesN64  float64             `json:"speedup_evalmoves_vs_recompute_n64"`
+	SpeedupEvalMovesN256 float64             `json:"speedup_evalmoves_vs_recompute_n256"`
+}
+
+// swapNeighborhood generates the full swap neighborhood the heuristics
+// scan, with the same same-type skip.
+func swapNeighborhood(set *model.MulticastSet) []model.Move {
+	n := len(set.Nodes)
+	var moves []model.Move
+	for a := 1; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if set.Nodes[a] == set.Nodes[b] {
+				continue
+			}
+			moves = append(moves, model.SwapMove(a, b))
+		}
+	}
+	return moves
+}
+
+func runEngineSuite(out string) error {
+	type benchCase struct {
+		name  string
+		moves int // neighborhood size for ns/move cases, 0 otherwise
+		fn    func(b *testing.B)
+	}
+	var cases []benchCase
+	for _, n := range []int{64, 256} {
+		set, err := heurSetN(n)
+		if err != nil {
+			return err
+		}
+		sch, err := heur.SlowestFirst{}.Schedule(set)
+		if err != nil {
+			return err
+		}
+		moves := swapNeighborhood(set)
+		cases = append(cases,
+			benchCase{fmt.Sprintf("engine_evalmoves_swapnbhd_n%d", n), len(moves), func(b *testing.B) {
+				var eng model.Engine
+				eng.Attach(sch)
+				outRT := make([]int64, len(moves))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.EvalMoves(moves, outRT)
+				}
+			}},
+			benchCase{fmt.Sprintf("recompute_swapnbhd_n%d", n), len(moves), func(b *testing.B) {
+				var tm model.Times
+				model.ComputeTimesInto(sch, &tm)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, mv := range moves {
+						if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+							b.Fatal(err)
+						}
+						tm.RecomputeFrom(sch, mv.A)
+						tm.RecomputeFrom(sch, mv.B)
+						if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+							b.Fatal(err)
+						}
+						tm.RecomputeFrom(sch, mv.A)
+						tm.RecomputeFrom(sch, mv.B)
+					}
+				}
+			}},
+		)
+	}
+	hs, err := heurSet()
+	if err != nil {
+		return err
+	}
+	cases = append(cases,
+		benchCase{"local_search_engine_n64", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (heur.LocalSearch{MaxRounds: 10}).Schedule(hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchCase{"annealing_engine_n64", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (heur.Annealing{Seed: 5, Iters: 2000}).Schedule(hs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+	report := engineReport{
+		Tool:       "hnowbench -json (engine suite)",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	nsPerMove := map[string]float64{}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		br := engineBenchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if c.moves > 0 {
+			br.NsPerMove = float64(r.NsPerOp()) / float64(c.moves)
+			nsPerMove[c.name] = br.NsPerMove
+		}
+		report.Results = append(report.Results, br)
+		fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10.1f ns/move %8d allocs/op\n",
+			c.name, br.NsPerOp, br.NsPerMove, br.AllocsPerOp)
+	}
+	if ev := nsPerMove["engine_evalmoves_swapnbhd_n64"]; ev > 0 {
+		report.SpeedupEvalMovesN64 = nsPerMove["recompute_swapnbhd_n64"] / ev
+	}
+	if ev := nsPerMove["engine_evalmoves_swapnbhd_n256"]; ev > 0 {
+		report.SpeedupEvalMovesN256 = nsPerMove["recompute_swapnbhd_n256"] / ev
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (EvalMoves vs per-move RecomputeFrom: %.1fx at n=64, %.1fx at n=256)\n",
+		out, report.SpeedupEvalMovesN64, report.SpeedupEvalMovesN256)
 	return nil
 }

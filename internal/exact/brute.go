@@ -123,6 +123,14 @@ func bruteForce(set *model.MulticastSet, wantSchedule bool) (*model.Schedule, in
 	if err != nil {
 		return nil, 0, err
 	}
+	// Re-score the reconstruction through the flat engine: the search's
+	// own incremental reception bookkeeping and the rebuilt tree must
+	// agree on the optimum, or the parent/rank reconstruction is buggy.
+	var eng model.Engine
+	eng.Attach(sch)
+	if eng.RT() != best {
+		return nil, 0, fmt.Errorf("exact: brute-force reconstruction scores %d, search found %d", eng.RT(), best)
+	}
 	return sch, best, nil
 }
 

@@ -95,7 +95,23 @@ func Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dp.ScheduleFor(set, inst.SourceType, inst.Counts, inst.DestsByType)
+	opt, err := dp.Optimal(inst.SourceType, inst.Counts)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := dp.ScheduleFor(set, inst.SourceType, inst.Counts, inst.DestsByType)
+	if err != nil {
+		return nil, err
+	}
+	// Re-score the reconstruction through the flat engine: the realized
+	// tree must achieve exactly the DP's value, or the choice decoding is
+	// buggy. One O(n) pass, negligible next to the table fill.
+	var eng model.Engine
+	eng.Attach(sch)
+	if eng.RT() != opt {
+		return nil, fmt.Errorf("exact: reconstructed schedule scores %d, DP optimum is %d", eng.RT(), opt)
+	}
+	return sch, nil
 }
 
 // Solver is the model.Scheduler adapter for the DP.

@@ -5,10 +5,13 @@
 // cmd/hnowbench binary prints them and the root bench suite times their
 // kernels.
 //
-// The trial fan-outs (E4, E6, E7, E8, E10) run on the shared
-// batch.ForEach worker pool: trials write into pre-sized slots and are
-// aggregated in trial order afterwards, so every report is byte-identical
-// to a sequential run regardless of parallelism.
+// The trial fan-outs (E3, E4, E5's cross-check, E6, E7, E8, E10, E11's
+// quality comparison, E12) run on the shared batch.ForEach worker pool:
+// trials write into pre-sized slots and are aggregated in trial order
+// afterwards, so every report is byte-identical to a sequential run
+// regardless of parallelism. The wall-clock tables of E5 and E11 stay
+// sequential on purpose — contended workers would distort the timings
+// they exist to show.
 package experiments
 
 import (
@@ -172,37 +175,54 @@ func log2(x float64) float64 {
 }
 
 // E3LayeredOptimality exhaustively verifies Corollary 1 (greedy minimizes
-// DT over all layered schedules) on small random instances.
+// DT over all layered schedules) on small random instances. Each trial
+// enumerates an entire schedule space, so the fan-out runs on the shared
+// worker pool; within a trial the enumerated candidates are scored on
+// one reusable flat engine instead of an allocating ComputeTimes per
+// tree.
 func E3LayeredOptimality(trials int) string {
 	if trials <= 0 {
 		trials = 25
 	}
-	violations, checked := 0, 0
-	var enumerated int64
-	for t := 0; t < trials; t++ {
+	type res struct {
+		enumerated int64
+		violated   bool
+	}
+	results, err := forTrials(trials, func(t int) (res, error) {
 		set, err := cluster.Generate(cluster.GenConfig{N: 2 + t%3, K: 2, MaxSend: 6, Latency: 2, Seed: int64(1000 + t)})
 		if err != nil {
-			return fmt.Sprintf("E3: %v", err)
+			return res{}, err
 		}
 		g, err := core.Schedule(set)
 		if err != nil {
-			return fmt.Sprintf("E3: %v", err)
+			return res{}, err
 		}
 		greedyDT := model.DT(g)
 		minLayered := int64(1 << 62)
+		var r res
+		var eng model.Engine
+		var tm model.Times
 		err = exact.EnumerateSchedules(set, func(s *model.Schedule) bool {
-			enumerated++
-			tm := model.ComputeTimes(s)
+			r.enumerated++
+			eng.Attach(s)
+			eng.TimesInto(&tm)
 			if model.IsLayeredTimes(s, tm) && tm.DT < minLayered {
 				minLayered = tm.DT
 			}
 			return true
 		})
-		if err != nil {
-			return fmt.Sprintf("E3: %v", err)
-		}
+		r.violated = greedyDT != minLayered
+		return r, err
+	})
+	if err != nil {
+		return fmt.Sprintf("E3: %v", err)
+	}
+	violations, checked := 0, 0
+	var enumerated int64
+	for _, r := range results {
 		checked++
-		if greedyDT != minLayered {
+		enumerated += r.enumerated
+		if r.violated {
 			violations++
 		}
 	}
@@ -288,31 +308,52 @@ func E4ApproxRatio(trialsPerBand int) string {
 }
 
 // E5DPScaling validates Theorem 2 (DP optimality vs brute force) and
-// measures the DP's O(n^(2k)) runtime growth.
+// measures the DP's O(n^(2k)) runtime growth. The optimality cross-check
+// is a parallel trial fan-out (each trial solves an exact DP plus an
+// exhaustive search); the timing table stays sequential so its wall-clock
+// column measures uncontended fills.
 func E5DPScaling() string {
-	var b strings.Builder
-	b.WriteString("E5: Theorem 2 -- DP optimality and scaling\n\n")
-	// Optimality cross-check against brute force.
-	mismatches, checked := 0, 0
-	for t := 0; t < 30; t++ {
+	return e5CrossCheck(30) + e5ScalingTable()
+}
+
+// e5CrossCheck is the deterministic half of E5: DP vs brute force over
+// the trial fan-out, byte-identical to a sequential run.
+func e5CrossCheck(trials int) string {
+	type res struct {
+		mismatch bool
+	}
+	results, err := forTrials(trials, func(t int) (res, error) {
 		set, err := cluster.Generate(cluster.GenConfig{N: 2 + t%5, K: 1 + t%3, MaxSend: 10, Latency: 2, Seed: int64(t) + 500})
 		if err != nil {
-			return fmt.Sprintf("E5: %v", err)
+			return res{}, err
 		}
 		opt, err := exact.OptimalRT(set)
 		if err != nil {
-			return fmt.Sprintf("E5: %v", err)
+			return res{}, err
 		}
 		bf, err := exact.BruteForceRT(set)
 		if err != nil {
-			return fmt.Sprintf("E5: %v", err)
+			return res{}, err
 		}
+		return res{mismatch: opt != bf}, nil
+	})
+	if err != nil {
+		return fmt.Sprintf("E5: %v", err)
+	}
+	mismatches, checked := 0, 0
+	for _, r := range results {
 		checked++
-		if opt != bf {
+		if r.mismatch {
 			mismatches++
 		}
 	}
-	fmt.Fprintf(&b, "DP vs brute force on %d instances: %d mismatches (must be 0)\n\n", checked, mismatches)
+	return fmt.Sprintf("E5: Theorem 2 -- DP optimality and scaling\n\n"+
+		"DP vs brute force on %d instances: %d mismatches (must be 0)\n\n", checked, mismatches)
+}
+
+// e5ScalingTable is the timed half of E5.
+func e5ScalingTable() string {
+	var b strings.Builder
 	tb := stats.NewTable("k", "n", "states", "time (ms)", "opt RT")
 	for _, k := range []int{1, 2, 3} {
 		for _, n := range []int{8, 16, 32, 64} {

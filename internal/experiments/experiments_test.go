@@ -24,17 +24,23 @@ func TestFigure1Artifacts(t *testing.T) {
 // fan-outs migrated onto batch.ForEach and demands byte-identical
 // reports: the slot-and-ordered-aggregation discipline must hide worker
 // scheduling completely. Under -race (CI) this doubles as the data-race
-// check for the migrated paths.
+// check for the migrated paths. E5 and E11 are asserted on their
+// deterministic halves (the wall-clock tables cannot be byte-stable by
+// nature, which is why they are split out sequentially).
 func TestParallelReportsDeterministic(t *testing.T) {
 	runs := []struct {
 		name string
 		run  func() string
 	}{
+		{"E3", func() string { return E3LayeredOptimality(4) }},
 		{"E4", func() string { return E4ApproxRatio(6) }},
+		{"E5cross", func() string { return e5CrossCheck(8) }},
 		{"E6", func() string { return E6LeafReversal(15) }},
 		{"E7", func() string { return E7Baselines(6) }},
 		{"E8", func() string { return E8Simulator(6) }},
 		{"E10", func() string { return E10Sensitivity(3) }},
+		{"E11quality", func() string { return e11Quality(6) }},
+		{"E12", func() string { return E12NodeModel(8) }},
 	}
 	for _, c := range runs {
 		c := c

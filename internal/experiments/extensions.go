@@ -17,11 +17,15 @@ import (
 
 // E11Heuristics compares the Section 5 future-work heuristics (alternate
 // orders, local search, annealing) against greedy and the exact optimum.
+// The quality comparison is a parallel trial fan-out (each trial solves
+// an exact DP and runs every heuristic); the wall-clock table is a
+// separate sequential pass so its timings measure uncontended runs.
 func E11Heuristics(trials int) string {
-	if trials <= 0 {
-		trials = 40
-	}
-	schedulers := []model.Scheduler{
+	return e11Quality(trials) + e11Timing()
+}
+
+func e11Schedulers() []model.Scheduler {
+	return []model.Scheduler{
 		core.Greedy{},
 		core.Greedy{Reversal: true},
 		heur.SlowestFirst{},
@@ -29,52 +33,71 @@ func E11Heuristics(trials int) string {
 		heur.Annealing{Seed: 7, Iters: 1500},
 		heur.BeamSearch{Width: 16, Branch: 4},
 	}
+}
+
+// e11Quality is the deterministic half of E11: solution quality vs the
+// exact optimum over the trial fan-out, byte-identical to a sequential
+// run.
+func e11Quality(trials int) string {
+	if trials <= 0 {
+		trials = 40
+	}
+	schedulers := e11Schedulers()
+	type trialRes struct {
+		ok    bool
+		ratio []float64
+		hit   []bool
+	}
+	results, err := forTrials(trials, func(t int) (trialRes, error) {
+		set, err := genForOracle(t)
+		if err != nil {
+			return trialRes{}, err
+		}
+		opt, err := exact.OptimalRT(set)
+		if err != nil || opt == 0 {
+			return trialRes{}, nil
+		}
+		r := trialRes{ok: true, ratio: make([]float64, len(schedulers)), hit: make([]bool, len(schedulers))}
+		for i, s := range schedulers {
+			sch, err := s.Schedule(set)
+			if err != nil {
+				return trialRes{}, fmt.Errorf("%s: %v", s.Name(), err)
+			}
+			rt := model.RT(sch)
+			r.ratio[i] = float64(rt) / float64(opt)
+			r.hit[i] = rt == opt
+		}
+		return r, nil
+	})
+	if err != nil {
+		return fmt.Sprintf("E11: %v", err)
+	}
 	type agg struct {
 		ratioSum float64
 		worst    float64
 		optHits  int
-		timeSum  time.Duration
 	}
-	aggs := map[string]*agg{}
-	for _, s := range schedulers {
-		aggs[s.Name()] = &agg{}
-	}
+	aggs := make([]agg, len(schedulers))
 	counted := 0
-	for t := 0; t < trials; t++ {
-		set, err := genForOracle(t)
-		if err != nil {
-			return fmt.Sprintf("E11: %v", err)
-		}
-		opt, err := exact.OptimalRT(set)
-		if err != nil || opt == 0 {
+	for _, r := range results {
+		if !r.ok {
 			continue
 		}
 		counted++
-		for _, s := range schedulers {
-			start := time.Now()
-			sch, err := s.Schedule(set)
-			el := time.Since(start)
-			if err != nil {
-				return fmt.Sprintf("E11: %s: %v", s.Name(), err)
+		for i := range schedulers {
+			aggs[i].ratioSum += r.ratio[i]
+			if r.ratio[i] > aggs[i].worst {
+				aggs[i].worst = r.ratio[i]
 			}
-			a := aggs[s.Name()]
-			r := float64(model.RT(sch)) / float64(opt)
-			a.ratioSum += r
-			if r > a.worst {
-				a.worst = r
+			if r.hit[i] {
+				aggs[i].optHits++
 			}
-			if model.RT(sch) == opt {
-				a.optHits++
-			}
-			a.timeSum += el
 		}
 	}
-	tb := stats.NewTable("heuristic", "mean RT/OPT", "worst RT/OPT", "optimal hits", "mean time (us)")
-	for _, s := range schedulers {
-		a := aggs[s.Name()]
-		tb.AddRow(s.Name(), a.ratioSum/float64(counted), a.worst,
-			fmt.Sprintf("%d/%d", a.optHits, counted),
-			float64(a.timeSum.Microseconds())/float64(counted))
+	tb := stats.NewTable("heuristic", "mean RT/OPT", "worst RT/OPT", "optimal hits")
+	for i, s := range schedulers {
+		tb.AddRow(s.Name(), aggs[i].ratioSum/float64(counted), aggs[i].worst,
+			fmt.Sprintf("%d/%d", aggs[i].optHits, counted))
 	}
 	return "E11: future-work heuristics vs exact optimum (n <= 8 so the DP is exact)\n\n" + tb.String() +
 		"\nFinding: greedy+leafrev schedules are local optima under swap and\n" +
@@ -83,6 +106,31 @@ func E11Heuristics(trials int) string {
 		"(different relay sets). Beam search over the greedy construction\n" +
 		"(width 16) finds those trees and closes the gap at polynomial cost,\n" +
 		"answering the paper's Section 5 question affirmatively.\n"
+}
+
+// e11Timing reports sequential wall-clock means per heuristic on a fixed
+// slate of instances. Kept out of the parallel fan-out: contended workers
+// would distort the very numbers the table exists to show.
+func e11Timing() string {
+	const instances = 8
+	schedulers := e11Schedulers()
+	tb := stats.NewTable("heuristic", "mean time (us)")
+	for _, s := range schedulers {
+		var total time.Duration
+		for t := 0; t < instances; t++ {
+			set, err := genForOracle(t)
+			if err != nil {
+				return fmt.Sprintf("E11: %v", err)
+			}
+			start := time.Now()
+			if _, err := s.Schedule(set); err != nil {
+				return fmt.Sprintf("E11: %s: %v", s.Name(), err)
+			}
+			total += time.Since(start)
+		}
+		tb.AddRow(s.Name(), float64(total.Microseconds())/float64(instances))
+	}
+	return "\nSequential wall-clock on " + fmt.Sprint(instances) + " fixed instances:\n" + tb.String()
 }
 
 func genForOracle(t int) (*model.MulticastSet, error) {
@@ -132,7 +180,9 @@ func genRatioSet(n, k int, ratioMin, ratioMax float64, seed int64) (*model.Multi
 // E12NodeModel validates the prior-art substrate: the heterogeneous node
 // model's greedy stays within the factor-2 bound of reference [13], and
 // planning with the node model costs measurably when the network behaves
-// per the receive-send model.
+// per the receive-send model. Both trial loops run on the shared worker
+// pool with trial-ordered aggregation, so the report is byte-identical
+// to a sequential run.
 func E12NodeModel(trials int) string {
 	if trials <= 0 {
 		trials = 80
@@ -140,32 +190,45 @@ func E12NodeModel(trials int) string {
 	var b strings.Builder
 	b.WriteString("E12: heterogeneous node model substrate (references [2], [9], [13])\n\n")
 	// Factor-2 check against the node-model brute force.
-	worst := 1.0
-	violations, counted := 0, 0
-	for t := 0; t < trials; t++ {
+	type check struct {
+		ok       bool
+		ratio    float64
+		violated bool
+	}
+	checks, err := forTrials(trials, func(t int) (check, error) {
 		set, err := genRatioSet(2+t%6, 2, 1.05, 1.85, int64(t)*7919+101)
 		if err != nil {
-			return fmt.Sprintf("E12: %v", err)
+			return check{}, err
 		}
 		inst := nodemodel.FromReceiveSend(set)
 		tree, err := inst.Greedy()
 		if err != nil {
-			return fmt.Sprintf("E12: %v", err)
+			return check{}, err
 		}
 		g, err := inst.Completion(tree)
 		if err != nil {
-			return fmt.Sprintf("E12: %v", err)
+			return check{}, err
 		}
 		opt, err := inst.BruteForce()
 		if err != nil || opt == 0 {
+			return check{}, nil
+		}
+		return check{ok: true, ratio: float64(g) / float64(opt), violated: g > 2*opt}, nil
+	})
+	if err != nil {
+		return fmt.Sprintf("E12: %v", err)
+	}
+	worst := 1.0
+	violations, counted := 0, 0
+	for _, c := range checks {
+		if !c.ok {
 			continue
 		}
 		counted++
-		r := float64(g) / float64(opt)
-		if r > worst {
-			worst = r
+		if c.ratio > worst {
+			worst = c.ratio
 		}
-		if g > 2*opt {
+		if c.violated {
 			violations++
 		}
 	}
@@ -183,27 +246,36 @@ func E12NodeModel(trials int) string {
 		{"paper band 1.05-1.85", 1.05, 1.85},
 		{"heavy ratios 2-4", 2.0, 4.0},
 	} {
-		var nm, rs float64
-		for t := 0; t < trials; t++ {
+		type pair struct {
+			nm, rs float64
+		}
+		slots, err := forTrials(trials, func(t int) (pair, error) {
 			set, err := genRatioSet(40, 3, cfg.ratioMin, cfg.ratioMax, int64(t)*31+7)
 			if err != nil {
-				return fmt.Sprintf("E12: %v", err)
+				return pair{}, err
 			}
 			inst := nodemodel.FromReceiveSend(set)
 			tree, err := inst.Greedy()
 			if err != nil {
-				return fmt.Sprintf("E12: %v", err)
+				return pair{}, err
 			}
 			sch, err := nodemodel.ToSchedule(tree, set)
 			if err != nil {
-				return fmt.Sprintf("E12: %v", err)
+				return pair{}, err
 			}
 			g, err := core.ScheduleWithReversal(set)
 			if err != nil {
-				return fmt.Sprintf("E12: %v", err)
+				return pair{}, err
 			}
-			nm += float64(model.RT(sch))
-			rs += float64(model.RT(g))
+			return pair{nm: float64(model.RT(sch)), rs: float64(model.RT(g))}, nil
+		})
+		if err != nil {
+			return fmt.Sprintf("E12: %v", err)
+		}
+		var nm, rs float64
+		for _, p := range slots {
+			nm += p.nm
+			rs += p.rs
 		}
 		tb.AddRow(cfg.name, nm/float64(trials), rs/float64(trials), nm/rs)
 	}

@@ -124,10 +124,12 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		beam = next
 	}
 	// Materialize every beam candidate, leaf-reverse it, keep the best.
-	// Candidates share one reusable Times buffer for the final scoring.
+	// Candidates share one reusable engine whose flat layout is rebuilt
+	// per schedule, so the final scoring pass allocates nothing beyond
+	// the materialized trees themselves.
 	var best *model.Schedule
 	var bestRT int64
-	var tm model.Times
+	var eng model.Engine
 	for _, st := range beam {
 		sch, err := materialize(set, st)
 		if err != nil {
@@ -136,7 +138,8 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		if _, err := core.ReverseLeaves(sch); err != nil {
 			return nil, err
 		}
-		if rt := model.RTInto(sch, &tm); best == nil || rt < bestRT {
+		eng.Attach(sch)
+		if rt := eng.RT(); best == nil || rt < bestRT {
 			best, bestRT = sch, rt
 		}
 	}

@@ -47,6 +47,15 @@ type LocalSearch struct {
 func (l LocalSearch) Name() string { return "local-search" }
 
 // Schedule implements model.Scheduler.
+//
+// The search runs on model.Engine: each round generates the full ordered
+// swap (then relocation) neighborhood and scores it with batched
+// EvalMoves against the flat structure-of-arrays layout — no candidate
+// mutates the schedule, so there is nothing to undo and a rejected move
+// costs one subtree span walk. The first strictly improving candidate in
+// scan order is applied, exactly the first-improvement rule of the
+// mutate-and-undo loop this replaces, so results are bit-identical to it
+// (pinned by the parity suite).
 func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	base := l.Base
 	if base == nil {
@@ -60,85 +69,65 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Incremental evaluation: one full timing pass up front, then every
-	// candidate move re-walks only the affected subtrees (RecomputeFrom),
-	// so the inner loops neither allocate nor re-traverse the whole tree.
-	var tm model.Times
-	model.ComputeTimesInto(sch, &tm)
-	cur := tm.RT
+	var eng model.Engine
+	eng.Attach(sch)
+	cur := eng.RT()
 	n := len(set.Nodes)
+	var moves []model.Move
+	var out []int64
 	for round := 0; round < rounds; round++ {
 		improved := false
 		// Move 1: swap tree positions of destination pairs.
-		for a := 1; a < n && !improved; a++ {
-			for b := a + 1; b < n && !improved; b++ {
+		moves = moves[:0]
+		for a := 1; a < n; a++ {
+			for b := a + 1; b < n; b++ {
 				if set.Nodes[a] == set.Nodes[b] {
 					continue // same type: swap cannot change times
 				}
-				if err := sch.SwapNodes(a, b); err != nil {
-					return nil, err
-				}
-				tm.RecomputeFrom(sch, a)
-				tm.RecomputeFrom(sch, b)
-				if tm.RT < cur {
-					cur = tm.RT
-					improved = true
-				} else {
-					if err := sch.SwapNodes(a, b); err != nil { // undo
-						return nil, err
-					}
-					tm.RecomputeFrom(sch, a)
-					tm.RecomputeFrom(sch, b)
-				}
+				moves = append(moves, model.SwapMove(a, b))
 			}
 		}
-		// Move 2: relocate any leaf to the end of another node's children
-		// list (later siblings at the old parent shift one rank earlier).
-		for v := 1; v < n && !improved; v++ {
-			leaf := model.NodeID(v)
-			if !sch.IsLeaf(leaf) {
-				continue
+		if idx, rt := firstImproving(&eng, moves, &out, cur); idx >= 0 {
+			mv := moves[idx]
+			if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+				return nil, err
 			}
-			for p := 0; p < n && !improved; p++ {
-				target := model.NodeID(p)
-				if p == v || target == sch.Parent(leaf) {
+			eng.CommitSwap(mv.A, mv.B)
+			cur = rt
+			improved = true
+		}
+		if !improved {
+			// Move 2: relocate any leaf to the end of another node's
+			// children list (later siblings at the old parent shift one
+			// rank earlier).
+			moves = moves[:0]
+			for v := 1; v < n; v++ {
+				leaf := model.NodeID(v)
+				if !sch.IsLeaf(leaf) {
 					continue
 				}
-				if p != 0 && sch.Parent(target) == -1 {
-					continue
+				for p := 0; p < n; p++ {
+					target := model.NodeID(p)
+					if p == v || target == sch.Parent(leaf) {
+						continue
+					}
+					if p != 0 && sch.Parent(target) == -1 {
+						continue
+					}
+					moves = append(moves, model.RelocateMove(leaf, target))
 				}
-				oldParent, oldIdx, err := sch.RemoveLeaf(leaf)
-				if err != nil {
+			}
+			if idx, rt := firstImproving(&eng, moves, &out, cur); idx >= 0 {
+				mv := moves[idx]
+				if _, _, err := sch.RemoveLeaf(mv.A); err != nil {
 					return nil, err
 				}
-				if err := sch.InsertChild(target, leaf, len(sch.Children(target))); err != nil {
-					// Re-attach and bail; should not happen for valid p.
-					if e2 := sch.InsertChild(oldParent, leaf, oldIdx); e2 != nil {
-						return nil, fmt.Errorf("heur: relocate rollback failed: %v after %v", e2, err)
-					}
-					continue
+				if err := sch.InsertChild(mv.B, mv.A, len(sch.Children(mv.B))); err != nil {
+					return nil, err
 				}
-				// oldParent first: its re-walk covers the rank-shifted
-				// later siblings, and the leaf too when the target sits
-				// inside that subtree; the leaf call then re-derives the
-				// leaf from its (now current) new parent.
-				tm.RecomputeFrom(sch, oldParent)
-				tm.RecomputeFrom(sch, leaf)
-				if tm.RT < cur {
-					cur = tm.RT
-					improved = true
-				} else {
-					// Undo exactly: remove from the target's tail and
-					// reinsert at the original index.
-					if _, _, err := sch.RemoveLeaf(leaf); err != nil {
-						return nil, err
-					}
-					if err := sch.InsertChild(oldParent, leaf, oldIdx); err != nil {
-						return nil, err
-					}
-					tm.RecomputeFrom(sch, oldParent)
-					tm.RecomputeFrom(sch, leaf)
-				}
+				eng.Attach(sch)
+				cur = rt
+				improved = true
 			}
 		}
 		if !improved {
@@ -149,6 +138,28 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 		return nil, fmt.Errorf("heur: local search corrupted the schedule: %w", err)
 	}
 	return sch, nil
+}
+
+// firstImproving scores moves in chunks with EvalMoves and returns the
+// index and RT of the first candidate strictly better than cur, or
+// (-1, 0). Chunking keeps the early-exit behavior of a first-improvement
+// scan while the evaluation itself stays batched.
+func firstImproving(eng *model.Engine, moves []model.Move, out *[]int64, cur int64) (int, int64) {
+	const chunk = 64
+	if cap(*out) < chunk {
+		*out = make([]int64, chunk)
+	}
+	for start := 0; start < len(moves); start += chunk {
+		batch := moves[start:min(start+chunk, len(moves))]
+		o := (*out)[:len(batch)]
+		eng.EvalMoves(batch, o)
+		for i, rt := range o {
+			if rt < cur {
+				return start + i, rt
+			}
+		}
+	}
+	return -1, 0
 }
 
 // Annealing is a seeded simulated-annealing scheduler: random swap /
@@ -186,13 +197,17 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	if n <= 2 {
 		return sch, nil
 	}
-	// Incremental evaluation plus pooled undo bookkeeping: candidate moves
-	// re-walk only the two swapped subtrees, and the incumbent best is a
-	// single preallocated snapshot refreshed in place (CopyFrom) instead
-	// of a fresh Clone per improvement.
-	var tm model.Times
-	model.ComputeTimesInto(sch, &tm)
-	cur := float64(tm.RT)
+	// Engine-backed evaluation plus pooled undo bookkeeping: a proposed
+	// swap is scored against the flat layout without touching the
+	// schedule, so rejected moves (the vast majority once the temperature
+	// drops) cost one span walk and no undo; only accepted moves mutate
+	// and re-attach. The incumbent best stays a single preallocated
+	// snapshot refreshed in place (CopyFrom). The proposal and acceptance
+	// sequence is bit-identical to the mutate-and-undo loop this replaces
+	// (pinned by the parity suite).
+	var eng model.Engine
+	eng.Attach(sch)
+	cur := float64(eng.RT())
 	best := sch.Clone()
 	bestRT := cur
 	t0 := a.T0
@@ -215,14 +230,14 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		if x == y || set.Nodes[x] == set.Nodes[y] {
 			continue
 		}
-		if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
-			return nil, err
-		}
-		tm.RecomputeFrom(sch, model.NodeID(x))
-		tm.RecomputeFrom(sch, model.NodeID(y))
-		rt := float64(tm.RT)
+		_, rtInt := eng.Eval(model.SwapMove(x, y))
+		rt := float64(rtInt)
 		accept := rt <= cur || rng.Float64() < math.Exp((cur-rt)/temp)
 		if accept {
+			if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
+				return nil, err
+			}
+			eng.CommitSwap(model.NodeID(x), model.NodeID(y))
 			cur = rt
 			if rt < bestRT {
 				bestRT = rt
@@ -230,12 +245,6 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 					return nil, err
 				}
 			}
-		} else {
-			if err := sch.SwapNodes(model.NodeID(x), model.NodeID(y)); err != nil {
-				return nil, err
-			}
-			tm.RecomputeFrom(sch, model.NodeID(x))
-			tm.RecomputeFrom(sch, model.NodeID(y))
 		}
 	}
 	if err := best.Validate(); err != nil {

@@ -1,0 +1,173 @@
+package heur
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// recvTiedSet builds a set with strictly increasing sends and one shared
+// receiving overhead: reception times tie constantly, so any drift in
+// tie-breaking between the engine-backed loops and the mutate-and-undo
+// references would surface here. Such sets are valid (the correlation
+// rule forbids inversions and equal-send splits, not shared recvs).
+func recvTiedSet(t testing.TB, rng *rand.Rand, n int) *model.MulticastSet {
+	t.Helper()
+	nodes := make([]model.Node, n+1)
+	for i := range nodes {
+		nodes[i] = model.Node{Send: int64(1 + rng.Intn(4)), Recv: 6}
+	}
+	set := &model.MulticastSet{Latency: int64(1 + rng.Intn(3)), Nodes: nodes}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func paritySet(t testing.TB, rng *rand.Rand, trial int) *model.MulticastSet {
+	if trial%3 == 2 {
+		return recvTiedSet(t, rng, 2+rng.Intn(24))
+	}
+	set, err := cluster.Generate(cluster.GenConfig{
+		N: 2 + rng.Intn(24), K: 1 + rng.Intn(4), MaxSend: 16, Seed: rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestLocalSearchParityWithReference pins the engine-backed LocalSearch
+// to the pre-engine mutate-and-undo loop: identical trees (not just
+// identical completion times) on randomized networks including recv-tied
+// ones.
+func TestLocalSearchParityWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 60; trial++ {
+		set := paritySet(t, rng, trial)
+		ls := LocalSearch{}
+		got, err := ls.Schedule(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := localSearchReference(ls, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: engine local search diverged from reference\nengine    %s (RT %d)\nreference %s (RT %d)",
+				trial, got, model.RT(got), want, model.RT(want))
+		}
+	}
+}
+
+// TestAnnealingParityWithReference pins the engine-backed Annealing to
+// the pre-engine loop: the proposal and acceptance sequences must consume
+// the RNG identically, so the final trees match exactly across seeds.
+func TestAnnealingParityWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(515151))
+	for trial := 0; trial < 30; trial++ {
+		set := paritySet(t, rng, trial)
+		an := Annealing{Seed: int64(trial)*13 + 1, Iters: 600}
+		got, err := an.Schedule(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := annealingReference(an, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (seed %d): engine annealing diverged from reference\nengine    %s (RT %d)\nreference %s (RT %d)",
+				trial, an.Seed, got, model.RT(got), want, model.RT(want))
+		}
+	}
+}
+
+// TestLocalSearchParityNonDefaultBase covers the parity across a base
+// scheduler whose trees differ structurally from greedy's.
+func TestLocalSearchParityNonDefaultBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(616161))
+	for trial := 0; trial < 20; trial++ {
+		set := paritySet(t, rng, trial)
+		ls := LocalSearch{Base: SlowestFirst{}, MaxRounds: 8}
+		got, err := ls.Schedule(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := localSearchReference(ls, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: diverged with slowest-first base\nengine    %s\nreference %s", trial, got, want)
+		}
+	}
+}
+
+// BenchmarkNeighborhoodEvalMoves and BenchmarkNeighborhoodRecompute put
+// the two move-evaluation strategies side by side on the same full swap
+// neighborhood: batched engine scoring vs mutate + RecomputeFrom + undo
+// per candidate. hnowbench -json runs the same pair into
+// BENCH_engine.json.
+func swapNeighborhood(set *model.MulticastSet) []model.Move {
+	n := len(set.Nodes)
+	var moves []model.Move
+	for a := 1; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if set.Nodes[a] == set.Nodes[b] {
+				continue
+			}
+			moves = append(moves, model.SwapMove(a, b))
+		}
+	}
+	return moves
+}
+
+func BenchmarkNeighborhoodEvalMoves(b *testing.B) {
+	set := genSet(b, 64, 11)
+	sch, err := (SlowestFirst{}).Schedule(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var eng model.Engine
+	eng.Attach(sch)
+	moves := swapNeighborhood(set)
+	out := make([]int64, len(moves))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvalMoves(moves, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(moves)), "ns/move")
+}
+
+func BenchmarkNeighborhoodRecompute(b *testing.B) {
+	set := genSet(b, 64, 11)
+	sch, err := (SlowestFirst{}).Schedule(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tm model.Times
+	model.ComputeTimesInto(sch, &tm)
+	moves := swapNeighborhood(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mv := range moves {
+			if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+				b.Fatal(err)
+			}
+			tm.RecomputeFrom(sch, mv.A)
+			tm.RecomputeFrom(sch, mv.B)
+			if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+				b.Fatal(err)
+			}
+			tm.RecomputeFrom(sch, mv.A)
+			tm.RecomputeFrom(sch, mv.B)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(moves)), "ns/move")
+}

@@ -1,0 +1,620 @@
+package model
+
+import "fmt"
+
+// MoveKind discriminates the candidate move types the heuristic searches
+// propose.
+type MoveKind uint8
+
+const (
+	// MoveSwap exchanges the tree positions of two attached destinations
+	// (Schedule.SwapNodes semantics: positions keep their parent, rank and
+	// subtree; only the occupants change).
+	MoveSwap MoveKind = iota
+	// MoveRelocate detaches leaf A and appends it to the end of B's
+	// children list (Schedule.RemoveLeaf + InsertChild-at-tail semantics:
+	// A's later siblings shift one rank earlier).
+	MoveRelocate
+)
+
+// Move is one candidate schedule edit to be scored by Engine.EvalMoves.
+type Move struct {
+	Kind MoveKind
+	// A, B are the move operands: the two swapped destinations, or the
+	// relocated leaf (A) and its new parent (B).
+	A, B NodeID
+}
+
+// SwapMove returns a swap candidate for destinations a and b.
+func SwapMove(a, b NodeID) Move { return Move{Kind: MoveSwap, A: a, B: b} }
+
+// RelocateMove returns a relocate candidate: leaf appended under target.
+func RelocateMove(leaf, target NodeID) Move {
+	return Move{Kind: MoveRelocate, A: leaf, B: target}
+}
+
+// Engine is a structure-of-arrays evaluation engine for one schedule: the
+// tree is flattened into BFS layer order with every parent's children
+// stored contiguously, and delivery/reception times live in flat int64
+// slices indexed by position instead of per-node fields. On top of the
+// flat layout the engine keeps layer-local monotone aggregates — per-layer
+// prefix and suffix running maxima of both time arrays, plus per-layer
+// totals — so the completion time of a candidate move is the max of a
+// re-walked subtree span and O(1) complement lookups, with no per-node
+// log-factor tree refresh anywhere.
+//
+// The key property of the layout is that the descendants of any position
+// form one contiguous span per layer (children of a contiguous parent
+// range are themselves contiguous), so a subtree re-walk is a linear scan
+// of at most two spans per layer and the untouched remainder of each layer
+// is covered by the precomputed running maxima.
+//
+// Usage: Attach builds (or rebuilds, reusing every buffer) the flat
+// mirror of a schedule; EvalMoves scores candidate moves against it
+// without mutating anything; after a move is actually applied to the
+// schedule, Attach re-syncs. The zero value is ready for use. An Engine
+// is not safe for concurrent use.
+type Engine struct {
+	set *MulticastSet
+	sch *Schedule
+	m   int // attached node count (= len(order))
+
+	// Flat structure, indexed by position (BFS layer order).
+	order        []NodeID // position -> occupying node
+	pos          []int32  // node -> position, -1 if unattached
+	parentPos    []int32  // position -> parent position, -1 for the root
+	rank         []int64  // position -> 1-based child rank, 0 for the root
+	kidLo, kidHi []int32  // position -> children span [kidLo,kidHi) in order
+	layerOf      []int32  // position -> layer (root = 0)
+	layerOff     []int32  // layer l occupies positions [layerOff[l], layerOff[l+1])
+
+	// Structure-of-arrays occupant overheads and times, by position.
+	sendOf, recvOf []int64
+	d, r           []int64 // delivery / reception
+
+	// Layer-local monotone aggregates. preX[j] is the running max of X
+	// over [layerStart, j) within j's layer; sufX[j] the max over
+	// [j, layerEnd). layMaxX[l] is layer l's max; layPreX[l] the max over
+	// layers < l and laySufX[l] the max over layers >= l (one slot past
+	// the last layer holds the empty suffix).
+	preD, preR, sufD, sufR []int64
+	layMaxD, layMaxR       []int64
+	layPreD, layPreR       []int64
+	laySufD, laySufR       []int64
+
+	dt, rt int64
+
+	// Eval scratch: candidate reception times for re-walked positions,
+	// validity-stamped so no per-move clearing is needed.
+	newR  []int64
+	stamp []uint32
+	gen   uint32
+}
+
+// Attach (re)builds the engine's flat mirror of sch, reusing all internal
+// buffers: after the first call at a given instance size it allocates
+// nothing. Unattached destinations get position -1 and contribute zero
+// times, matching the ComputeTimes convention.
+func (e *Engine) Attach(sch *Schedule) {
+	set := sch.Set
+	n := len(set.Nodes)
+	e.set, e.sch = set, sch
+
+	e.pos = resizeInt32(e.pos, n)
+	for i := range e.pos {
+		e.pos[i] = -1
+	}
+	e.order = resizeNodeID(e.order, n)
+	e.parentPos = resizeInt32(e.parentPos, n)
+	e.rank = resizeInt64(e.rank, n)
+	e.kidLo = resizeInt32(e.kidLo, n)
+	e.kidHi = resizeInt32(e.kidHi, n)
+	e.layerOf = resizeInt32(e.layerOf, n)
+	e.sendOf = resizeInt64(e.sendOf, n)
+	e.recvOf = resizeInt64(e.recvOf, n)
+	e.d = resizeInt64(e.d, n)
+	e.r = resizeInt64(e.r, n)
+	e.newR = resizeInt64(e.newR, n)
+	if cap(e.stamp) < n {
+		e.stamp = make([]uint32, n, growCap(n))
+		e.gen = 0
+	}
+	e.stamp = e.stamp[:n]
+
+	// BFS flattening: children are appended in parent-position order, so
+	// each parent's children are contiguous and each layer is a single
+	// position range.
+	e.order[0] = 0
+	e.pos[0] = 0
+	e.parentPos[0] = -1
+	e.rank[0] = 0
+	e.layerOf[0] = 0
+	write := 1
+	for i := 0; i < write; i++ {
+		e.kidLo[i] = int32(write)
+		for rk, w := range sch.children[e.order[i]] {
+			e.order[write] = w
+			e.pos[w] = int32(write)
+			e.parentPos[write] = int32(i)
+			e.rank[write] = int64(rk + 1)
+			e.layerOf[write] = e.layerOf[i] + 1
+			write++
+		}
+		e.kidHi[i] = int32(write)
+	}
+	e.m = write
+
+	layers := int(e.layerOf[write-1]) + 1
+	e.layerOff = resizeInt32(e.layerOff, layers+1)
+	e.layerOff[0] = 0
+	for i := 0; i < write; i++ {
+		e.layerOff[e.layerOf[i]+1] = int32(i + 1)
+	}
+
+	// Occupant overheads as flat arrays (the SoA split of the old
+	// array-of-structs Nodes access in the inner loops).
+	for i := 0; i < write; i++ {
+		nd := &set.Nodes[e.order[i]]
+		e.sendOf[i] = nd.Send
+		e.recvOf[i] = nd.Recv
+	}
+
+	e.refreshTimes()
+	e.refreshAggregates(layers)
+}
+
+// refreshTimes recomputes the flat delivery/reception arrays in position
+// order (parents precede children, so one forward pass suffices). The
+// per-parent inner loop is a pure strength-reduced scan over contiguous
+// children: no pointer chasing, no per-node dispatch.
+func (e *Engine) refreshTimes() {
+	L := e.set.Latency
+	e.d[0], e.r[0] = 0, 0
+	for i := 0; i < e.m; i++ {
+		kl, kh := e.kidLo[i], e.kidHi[i]
+		if kl == kh {
+			continue
+		}
+		sv := e.sendOf[i]
+		dd := e.r[i] + L
+		for j := kl; j < kh; j++ {
+			dd += sv
+			e.d[j] = dd
+			e.r[j] = dd + e.recvOf[j]
+		}
+	}
+}
+
+// refreshAggregates rebuilds the layer-local running maxima and the
+// cross-layer prefix/suffix maxima from the current time arrays: a few
+// contiguous forward/backward scans over the flat slices.
+func (e *Engine) refreshAggregates(layers int) {
+	e.preD = resizeInt64(e.preD, e.m)
+	e.preR = resizeInt64(e.preR, e.m)
+	e.sufD = resizeInt64(e.sufD, e.m)
+	e.sufR = resizeInt64(e.sufR, e.m)
+	e.layMaxD = resizeInt64(e.layMaxD, layers)
+	e.layMaxR = resizeInt64(e.layMaxR, layers)
+	e.layPreD = resizeInt64(e.layPreD, layers+1)
+	e.layPreR = resizeInt64(e.layPreR, layers+1)
+	e.laySufD = resizeInt64(e.laySufD, layers+1)
+	e.laySufR = resizeInt64(e.laySufR, layers+1)
+
+	for l := 0; l < layers; l++ {
+		e.refreshLayerAggregates(l)
+	}
+	e.refreshCrossLayer(layers)
+}
+
+// refreshCrossLayer re-derives the cross-layer prefix/suffix maxima and
+// the completion times from the per-layer maxima, in O(layers).
+func (e *Engine) refreshCrossLayer(layers int) {
+	preD, preR := int64(0), int64(0)
+	for l := 0; l < layers; l++ {
+		e.layPreD[l], e.layPreR[l] = preD, preR
+		preD, preR = max(preD, e.layMaxD[l]), max(preR, e.layMaxR[l])
+	}
+	e.layPreD[layers], e.layPreR[layers] = preD, preR
+	sufD, sufR := int64(0), int64(0)
+	e.laySufD[layers], e.laySufR[layers] = 0, 0
+	for l := layers - 1; l >= 0; l-- {
+		sufD, sufR = max(sufD, e.layMaxD[l]), max(sufR, e.layMaxR[l])
+		e.laySufD[l], e.laySufR[l] = sufD, sufR
+	}
+	e.dt, e.rt = sufD, sufR
+}
+
+// CommitSwap applies a swap of destinations a and b to the engine in
+// place, to be used together with Schedule.SwapNodes(a, b) on the
+// attached schedule. A swap leaves the tree shape invariant — positions
+// keep their parent, rank and children span — so the occupant arrays
+// exchange entries, the two subtrees' times are re-walked as contiguous
+// spans (the occupant arrays already carry the new overheads, so the
+// walk needs no overrides), and only the touched layers rebuild their
+// running maxima; the cross-layer prefixes and suffixes refresh in
+// O(layers). Acceptance-heavy loops (annealing) commit this way instead
+// of paying Attach's pointer-heavy BFS rebuild.
+func (e *Engine) CommitSwap(a, b NodeID) {
+	qa, qb := e.pos[a], e.pos[b]
+	if qa < 0 || qb < 0 {
+		panic(fmt.Sprintf("model: CommitSwap of unattached node (%d, %d)", a, b))
+	}
+	if qa == qb {
+		return
+	}
+	e.order[qa], e.order[qb] = b, a
+	e.pos[a], e.pos[b] = qb, qa
+	e.sendOf[qa], e.sendOf[qb] = e.sendOf[qb], e.sendOf[qa]
+	e.recvOf[qa], e.recvOf[qb] = e.recvOf[qb], e.recvOf[qa]
+
+	q1, q2 := qa, qb
+	if e.layerOf[q1] > e.layerOf[q2] {
+		q1, q2 = q2, q1
+	}
+	p := q2
+	for e.layerOf[p] > e.layerOf[q1] {
+		p = e.parentPos[p]
+	}
+	e.r[q1] = e.d[q1] + e.recvOf[q1] // delivery is position-determined
+	pend := int32(-1)
+	if p != q1 { // disjoint subtrees: q2's own delivery is unchanged too
+		pend = q2
+		e.r[q2] = e.d[q2] + e.recvOf[q2]
+	}
+	l := int(e.layerOf[q1])
+	var lo, hi [2]int32
+	ns := 1
+	lo[0], hi[0] = q1, q1+1
+	if pend >= 0 && int(e.layerOf[pend]) == l {
+		ns = insertSpan(&lo, &hi, ns, pend)
+		pend = -1
+	}
+	L := e.set.Latency
+	for ns > 0 || pend >= 0 {
+		if ns > 0 {
+			e.refreshLayerAggregates(l)
+		}
+		var nlo, nhi [2]int32
+		nns := 0
+		for si := 0; si < ns; si++ {
+			cs, ce := e.kidLo[lo[si]], e.kidHi[hi[si]-1]
+			if cs >= ce {
+				continue
+			}
+			for p := lo[si]; p < hi[si]; p++ {
+				kl, kh := e.kidLo[p], e.kidHi[p]
+				if kl == kh {
+					continue
+				}
+				sv := e.sendOf[p]
+				dd := e.r[p] + L
+				for j := kl; j < kh; j++ {
+					dd += sv
+					e.d[j] = dd
+					e.r[j] = dd + e.recvOf[j]
+				}
+			}
+			nlo[nns], nhi[nns] = cs, ce
+			nns++
+		}
+		lo, hi, ns = nlo, nhi, nns
+		l++
+		if pend >= 0 && int(e.layerOf[pend]) == l {
+			ns = insertSpan(&lo, &hi, ns, pend)
+			pend = -1
+		}
+	}
+	// Untouched layers kept their maxima; re-derive the cross-layer
+	// prefix/suffix aggregates and the completion times.
+	e.refreshCrossLayer(len(e.layerOff) - 1)
+}
+
+// refreshLayerAggregates rebuilds one layer's running maxima from the
+// current time arrays.
+func (e *Engine) refreshLayerAggregates(l int) {
+	s, t := int(e.layerOff[l]), int(e.layerOff[l+1])
+	runD, runR := int64(0), int64(0)
+	for j := s; j < t; j++ {
+		e.preD[j], e.preR[j] = runD, runR
+		runD, runR = max(runD, e.d[j]), max(runR, e.r[j])
+	}
+	e.layMaxD[l], e.layMaxR[l] = runD, runR
+	runD, runR = 0, 0
+	for j := t - 1; j >= s; j-- {
+		runD, runR = max(runD, e.d[j]), max(runR, e.r[j])
+		e.sufD[j], e.sufR[j] = runD, runR
+	}
+}
+
+// DT returns the delivery completion time of the attached schedule.
+func (e *Engine) DT() int64 { return e.dt }
+
+// RT returns the reception completion time of the attached schedule, the
+// objective the paper minimizes.
+func (e *Engine) RT() int64 { return e.rt }
+
+// TimesInto writes the attached schedule's times into tm in node index
+// order, exactly as ComputeTimesInto would produce them (unattached nodes
+// get zero times). It reuses tm's buffers and allocates nothing after
+// warmup.
+func (e *Engine) TimesInto(tm *Times) {
+	n := len(e.set.Nodes)
+	tm.Delivery = resizeInt64(tm.Delivery, n)
+	tm.Reception = resizeInt64(tm.Reception, n)
+	if e.m < n {
+		for i := range tm.Delivery {
+			tm.Delivery[i] = 0
+			tm.Reception[i] = 0
+		}
+	}
+	for j := 0; j < e.m; j++ {
+		v := e.order[j]
+		tm.Delivery[v] = e.d[j]
+		tm.Reception[v] = e.r[j]
+	}
+	tm.DT, tm.RT = e.dt, e.rt
+}
+
+// EvalMoves scores a batch of candidate moves against the attached
+// schedule in one pass over the flat arrays: out[i] receives the
+// reception completion time the schedule would have after moves[i]. No
+// move is applied; the engine, schedule and aggregates are unchanged, so
+// there is nothing to undo and the whole neighborhood shares the
+// aggregates built by the last Attach. len(out) must equal len(moves).
+// Steady-state the call allocates nothing.
+//
+// Move operands must be currently attached (and, for MoveRelocate, A must
+// be a leaf and B must not be A), mirroring the preconditions of the
+// schedule edits they model.
+func (e *Engine) EvalMoves(moves []Move, out []int64) {
+	if len(moves) != len(out) {
+		panic(fmt.Sprintf("model: EvalMoves: %d moves, %d output slots", len(moves), len(out)))
+	}
+	for i, mv := range moves {
+		_, out[i] = e.Eval(mv)
+	}
+}
+
+// Eval scores a single candidate move, returning the delivery and
+// reception completion times the schedule would have after it. See
+// EvalMoves for the preconditions.
+func (e *Engine) Eval(mv Move) (dt, rt int64) {
+	switch mv.Kind {
+	case MoveSwap:
+		return e.evalSwap(mv.A, mv.B)
+	case MoveRelocate:
+		return e.evalRelocate(mv.A, mv.B)
+	default:
+		panic(fmt.Sprintf("model: Eval: unknown move kind %d", mv.Kind))
+	}
+}
+
+// nextGen advances the scratch stamp, clearing it on wraparound.
+func (e *Engine) nextGen() uint32 {
+	e.gen++
+	if e.gen == 0 {
+		for i := range e.stamp {
+			e.stamp[i] = 0
+		}
+		e.gen = 1
+	}
+	return e.gen
+}
+
+// evalSwap scores exchanging the positions of destinations a and b. The
+// tree shape is invariant under a swap — only the occupants of the two
+// positions change — so the affected positions are exactly the two
+// subtrees (one, when nested), walked as contiguous spans per layer.
+func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
+	if a == b {
+		return e.dt, e.rt
+	}
+	q1, q2 := e.pos[a], e.pos[b]
+	if q1 < 0 || q2 < 0 {
+		panic(fmt.Sprintf("model: Eval: swap of unattached node (%d, %d)", a, b))
+	}
+	// After the swap, q1 (a's position) is occupied by b and vice versa.
+	s1, rv1 := e.sendOf[q2], e.recvOf[q2]
+	s2, rv2 := e.sendOf[q1], e.recvOf[q1]
+	if e.layerOf[q1] > e.layerOf[q2] {
+		q1, q2 = q2, q1
+		s1, rv1, s2, rv2 = s2, rv2, s1, rv1
+	}
+	// Nested iff q1 is an ancestor of q2.
+	p := q2
+	for e.layerOf[p] > e.layerOf[q1] {
+		p = e.parentPos[p]
+	}
+	nested := p == q1
+
+	gen := e.nextGen()
+	movD := e.d[q1] // q1's delivery is position-determined: unchanged
+	e.newR[q1] = e.d[q1] + rv1
+	e.stamp[q1] = gen
+	movR := e.newR[q1]
+	pend := int32(-1)
+	if !nested {
+		pend = q2
+		e.newR[q2] = e.d[q2] + rv2
+		e.stamp[q2] = gen
+		movD = max(movD, e.d[q2])
+		movR = max(movR, e.newR[q2])
+	}
+	return e.walkSpans(q1, pend, q1, q2, s1, s2, rv1, rv2, gen, movD, movR)
+}
+
+// evalRelocate scores detaching leaf and appending it under target. The
+// affected positions are the leaf's later siblings (one rank earlier) and
+// their subtrees; the leaf's vacated position is excluded from the
+// complement and its value at the new position is added separately once
+// the walk has fixed its new parent's reception.
+func (e *Engine) evalRelocate(leaf, target NodeID) (int64, int64) {
+	pl, pt := e.pos[leaf], e.pos[target]
+	if pl < 0 || pt < 0 || leaf == target {
+		panic(fmt.Sprintf("model: Eval: invalid relocate (%d -> %d)", leaf, target))
+	}
+	po := e.parentPos[pl]
+	if po < 0 {
+		panic(fmt.Sprintf("model: Eval: relocate of the root or an unattached node %d", leaf))
+	}
+	if e.kidLo[pl] != e.kidHi[pl] {
+		panic(fmt.Sprintf("model: Eval: relocate of non-leaf %d", leaf))
+	}
+	gen := e.nextGen()
+	// Seed the later siblings with their rank-shifted times; the vacated
+	// leaf position contributes nothing (and is childless, so the walk
+	// skips it naturally).
+	movD, movR := int64(0), int64(0)
+	L := e.set.Latency
+	rp, sv := e.r[po], e.sendOf[po]
+	for j := pl + 1; j < e.kidHi[po]; j++ {
+		dd := rp + (e.rank[j]-1)*sv + L
+		rj := dd + e.recvOf[j]
+		e.newR[j] = rj
+		e.stamp[j] = gen
+		movD = max(movD, dd)
+		movR = max(movR, rj)
+	}
+	dt, rt := e.walkSpansBounds(pl, e.kidHi[po], -1, -1, -1, 0, 0, 0, 0, gen, movD, movR)
+	// The leaf's contribution at its new position: appended after
+	// target's current children (one fewer if the target is the old
+	// parent itself, which just lost the leaf).
+	rt2 := e.r[pt]
+	if e.stamp[pt] == gen {
+		rt2 = e.newR[pt]
+	}
+	cnt := int64(e.kidHi[pt] - e.kidLo[pt])
+	if pt == po {
+		cnt--
+	}
+	dd := rt2 + (cnt+1)*e.sendOf[pt] + L
+	rj := dd + e.recvOf[pl]
+	return max(dt, dd), max(rt, rj)
+}
+
+// walkSpans is walkSpansBounds for a single-position top span.
+func (e *Engine) walkSpans(top, pend, q1, q2 int32, s1, s2, rv1, rv2 int64, gen uint32, movD, movR int64) (int64, int64) {
+	return e.walkSpansBounds(top, top+1, pend, q1, q2, s1, s2, rv1, rv2, gen, movD, movR)
+}
+
+// walkSpansBounds re-walks the descendants of the top span [lo0, hi0)
+// (plus, for disjoint swaps, the pending second root) layer by layer,
+// computing candidate times for every affected position into the stamped
+// scratch, and combines the running maxima of the walked values with the
+// layer aggregates of the untouched complement. q1/q2 carry the swap's
+// occupant overrides (-1 when absent). Returns the candidate (DT, RT).
+func (e *Engine) walkSpansBounds(lo0, hi0, pend, q1, q2 int32, s1, s2, rv1, rv2 int64, gen uint32, movD, movR int64) (int64, int64) {
+	L := e.set.Latency
+	l := int(e.layerOf[lo0])
+	complD, complR := e.layPreD[l], e.layPreR[l]
+	var lo, hi [2]int32
+	ns := 1
+	lo[0], hi[0] = lo0, hi0
+	if pend >= 0 && int(e.layerOf[pend]) == l {
+		ns = insertSpan(&lo, &hi, ns, pend)
+		pend = -1
+	}
+	for ns > 0 || pend >= 0 {
+		s, t := e.layerOff[l], e.layerOff[l+1]
+		// Complement within this layer: the untouched prefix, the gap
+		// between two disjoint spans (a direct scan of existing values),
+		// and the untouched suffix.
+		if ns == 0 {
+			complD = max(complD, e.layMaxD[l])
+			complR = max(complR, e.layMaxR[l])
+		} else {
+			if lo[0] > s {
+				complD = max(complD, e.preD[lo[0]])
+				complR = max(complR, e.preR[lo[0]])
+			}
+			if ns == 2 {
+				for j := hi[0]; j < lo[1]; j++ {
+					complD = max(complD, e.d[j])
+					complR = max(complR, e.r[j])
+				}
+			}
+			if last := hi[ns-1]; last < t {
+				complD = max(complD, e.sufD[last])
+				complR = max(complR, e.sufR[last])
+			}
+		}
+		// Expand each span into its children span on the next layer,
+		// deriving child times from the stamped parent receptions.
+		var nlo, nhi [2]int32
+		nns := 0
+		for si := 0; si < ns; si++ {
+			cs, ce := e.kidLo[lo[si]], e.kidHi[hi[si]-1]
+			if cs >= ce {
+				continue
+			}
+			for p := lo[si]; p < hi[si]; p++ {
+				kl, kh := e.kidLo[p], e.kidHi[p]
+				if kl == kh {
+					continue
+				}
+				sv := e.sendOf[p]
+				if p == q1 {
+					sv = s1
+				} else if p == q2 {
+					sv = s2
+				}
+				dd := e.newR[p] + L
+				for j := kl; j < kh; j++ {
+					dd += sv
+					rec := e.recvOf[j]
+					if j == q2 {
+						rec = rv2
+					} else if j == q1 {
+						rec = rv1
+					}
+					rj := dd + rec
+					e.newR[j] = rj
+					e.stamp[j] = gen
+					movD = max(movD, dd)
+					movR = max(movR, rj)
+				}
+			}
+			nlo[nns], nhi[nns] = cs, ce
+			nns++
+		}
+		lo, hi, ns = nlo, nhi, nns
+		l++
+		if pend >= 0 && int(e.layerOf[pend]) == l {
+			ns = insertSpan(&lo, &hi, ns, pend)
+			pend = -1
+		}
+	}
+	complD = max(complD, e.laySufD[l])
+	complR = max(complR, e.laySufR[l])
+	return max(complD, movD), max(complR, movR)
+}
+
+// insertSpan adds the single-position span [p, p+1) to the ordered span
+// set. Disjoint subtrees produce at most two spans per layer, so ns never
+// exceeds 2.
+func insertSpan(lo, hi *[2]int32, ns int, p int32) int {
+	if ns == 1 && p < lo[0] {
+		lo[1], hi[1] = lo[0], hi[0]
+		lo[0], hi[0] = p, p+1
+		return 2
+	}
+	lo[ns], hi[ns] = p, p+1
+	return ns + 1
+}
+
+// resizeInt32 returns s with length n, reusing capacity when possible and
+// rounding fresh allocations up to a power of two (see resizeInt64).
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, growCap(n))
+	}
+	return s[:n]
+}
+
+// resizeNodeID is resizeInt32 for NodeID slices.
+func resizeNodeID(s []NodeID, n int) []NodeID {
+	if cap(s) < n {
+		return make([]NodeID, n, growCap(n))
+	}
+	return s[:n]
+}

@@ -3,9 +3,11 @@ package model
 // Times holds the timing of a schedule under the receive-send model. The
 // zero value is ready for use with ComputeTimesInto / RTInto, which reuse
 // its buffers across calls; RecomputeFrom additionally maintains the
-// completion times incrementally under local schedule edits, so heuristic
-// search loops can evaluate a move in time proportional to the affected
-// subtree instead of the whole tree, without allocating.
+// completion times incrementally under local schedule edits, so move
+// evaluation re-walks only the affected subtree, without allocating.
+// Heuristic neighborhood loops should prefer Engine.EvalMoves, which
+// scores candidates against the structure-of-arrays layout without
+// mutating anything.
 type Times struct {
 	// Delivery[v] is d(v), the time the message is delivered to v. The
 	// source has Delivery[0] = 0 by convention.
@@ -19,16 +21,7 @@ type Times struct {
 	// paper minimizes.
 	RT int64
 
-	// Incremental state: two flat complete binary max-trees over node IDs
-	// (delivery and reception), built lazily by the first RecomputeFrom and
-	// updated in O(log n) per touched node thereafter, so DT/RT are read
-	// off the roots instead of rescanned. A full recompute invalidates
-	// them; all times are non-negative, so the zero padding of IDs beyond
-	// n never wins a max.
-	segD, segR []int64
-	segN       int
-	segValid   bool
-	stack      []NodeID // DFS scratch shared by the full and subtree walks
+	stack []NodeID // DFS scratch shared by the full and subtree walks
 }
 
 // ComputeTimes evaluates the model recurrences on a schedule, assuming (as
@@ -57,7 +50,6 @@ func ComputeTimesInto(t *Schedule, tm *Times) {
 		tm.Reception[i] = 0
 	}
 	tm.DT, tm.RT = 0, 0
-	tm.segValid = false
 	L := t.Set.Latency
 	// Iterative DFS from the root; children depend only on the parent's
 	// reception time.
@@ -85,10 +77,16 @@ func ComputeTimesInto(t *Schedule, tm *Times) {
 
 // RecomputeFrom updates tm after a local edit of the schedule: it
 // re-derives dirty's delivery from its parent's current reception and
-// child rank, re-walks only dirty's subtree, and refreshes DT and RT from
-// the max-trees — O(m log n) for an m-node subtree instead of a full-tree
-// walk. tm must hold valid times for every node outside dirty's subtree
-// (from a prior ComputeTimesInto or RecomputeFrom on the same schedule).
+// child rank, re-walks only dirty's subtree, and refreshes DT and RT with
+// one contiguous rescan of the flat time arrays — O(subtree + n) total,
+// the rescan being two cache-friendly linear max passes that replaced
+// the former twin max-trees and their per-touched-node log-factor
+// refresh. That makes this the compatibility path, not the fast one:
+// search loops evaluating many candidates should use Engine.EvalMoves,
+// whose layer aggregates amortize the completion-time maintenance across
+// a whole neighborhood instead of paying a full rescan per move. tm must
+// hold valid times for every node outside dirty's subtree (from a prior
+// ComputeTimesInto or RecomputeFrom on the same schedule).
 //
 // A move that changes several positions (a swap, a leaf relocation) is
 // handled by one RecomputeFrom per affected subtree root. Any call order
@@ -105,21 +103,19 @@ func (tm *Times) RecomputeFrom(t *Schedule, dirty NodeID) {
 		ComputeTimesInto(t, tm)
 		return
 	}
-	if !tm.segValid {
-		tm.buildSeg()
-	}
 	L := t.Set.Latency
 	switch {
 	case dirty == 0:
-		tm.setNode(0, 0, 0)
+		tm.Delivery[0], tm.Reception[0] = 0, 0
 	case t.parent[dirty] == -1:
-		tm.setNode(dirty, 0, 0)
-		tm.DT, tm.RT = tm.segD[1], tm.segR[1]
+		tm.Delivery[dirty], tm.Reception[dirty] = 0, 0
+		tm.rescanCompletion()
 		return // detached nodes are leaves; nothing below to re-walk
 	default:
 		p := t.parent[dirty]
 		d := tm.Reception[p] + int64(t.ChildRank(dirty))*t.Set.Nodes[p].Send + L
-		tm.setNode(dirty, d, d+t.Set.Nodes[dirty].Recv)
+		tm.Delivery[dirty] = d
+		tm.Reception[dirty] = d + t.Set.Nodes[dirty].Recv
 	}
 	stack := append(tm.stack[:0], dirty)
 	for len(stack) > 0 {
@@ -129,72 +125,51 @@ func (tm *Times) RecomputeFrom(t *Schedule, dirty NodeID) {
 		sv := t.Set.Nodes[v].Send
 		for i, w := range t.children[v] {
 			d := rv + int64(i+1)*sv + L
-			tm.setNode(w, d, d+t.Set.Nodes[w].Recv)
+			tm.Delivery[w] = d
+			tm.Reception[w] = d + t.Set.Nodes[w].Recv
 			stack = append(stack, w)
 		}
 	}
 	tm.stack = stack[:0]
-	tm.DT, tm.RT = tm.segD[1], tm.segR[1]
+	tm.rescanCompletion()
 }
 
-// setNode writes one node's times into the arrays and both max-trees.
-func (tm *Times) setNode(v NodeID, d, r int64) {
-	tm.Delivery[v] = d
-	tm.Reception[v] = r
-	i := tm.segN + int(v)
-	tm.segD[i] = d
-	tm.segR[i] = r
-	for i >>= 1; i >= 1; i >>= 1 {
-		dl, dr := tm.segD[2*i], tm.segD[2*i+1]
-		if dr > dl {
-			dl = dr
+// rescanCompletion re-derives DT and RT from the flat arrays: two
+// branch-predictable linear scans over contiguous int64 slices.
+func (tm *Times) rescanCompletion() {
+	dt, rt := int64(0), int64(0)
+	for _, v := range tm.Delivery {
+		if v > dt {
+			dt = v
 		}
-		tm.segD[i] = dl
-		rl, rr := tm.segR[2*i], tm.segR[2*i+1]
-		if rr > rl {
-			rl = rr
-		}
-		tm.segR[i] = rl
 	}
+	for _, v := range tm.Reception {
+		if v > rt {
+			rt = v
+		}
+	}
+	tm.DT, tm.RT = dt, rt
 }
 
-// buildSeg (re)builds the max-trees from the current arrays.
-func (tm *Times) buildSeg() {
-	n := len(tm.Delivery)
-	segN := 1
-	for segN < n {
-		segN <<= 1
-	}
-	tm.segD = resizeInt64(tm.segD, 2*segN)
-	tm.segR = resizeInt64(tm.segR, 2*segN)
-	copy(tm.segD[segN:], tm.Delivery)
-	copy(tm.segR[segN:], tm.Reception)
-	for i := segN + n; i < 2*segN; i++ {
-		tm.segD[i] = 0
-		tm.segR[i] = 0
-	}
-	for i := segN - 1; i >= 1; i-- {
-		dl, dr := tm.segD[2*i], tm.segD[2*i+1]
-		if dr > dl {
-			dl = dr
-		}
-		tm.segD[i] = dl
-		rl, rr := tm.segR[2*i], tm.segR[2*i+1]
-		if rr > rl {
-			rl = rr
-		}
-		tm.segR[i] = rl
-	}
-	tm.segN = segN
-	tm.segValid = true
-}
-
-// resizeInt64 returns s with length n, reusing capacity when possible.
+// resizeInt64 returns s with length n, reusing capacity when possible and
+// rounding fresh allocations up to the next power of two, so alternating
+// between nearby instance sizes (a heuristic evaluating neighborhoods of
+// slightly different schedules, say) does not reallocate on every size
+// change.
 func resizeInt64(s []int64, n int) []int64 {
 	if cap(s) < n {
-		return make([]int64, n)
+		return make([]int64, n, growCap(n))
 	}
 	return s[:n]
+}
+
+// growCap rounds n up to a power of two for scratch-buffer allocations.
+func growCap(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // RT is shorthand for ComputeTimes(t).RT.

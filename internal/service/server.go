@@ -6,6 +6,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/lower"
@@ -62,6 +63,10 @@ type Server struct {
 	jobs         *jobStore
 	mux          *http.ServeMux
 	cancel       context.CancelFunc
+	// engines pools model.Engine values for plan scoring: concurrent
+	// cache misses each borrow a warmed flat-layout engine instead of
+	// allocating per-request Times slices.
+	engines sync.Pool
 }
 
 // New builds a Server. The jobs it launches stop when Close is called.
@@ -236,13 +241,19 @@ func (s *Server) planCanonical(canon *model.MulticastSet, algo string, seed int6
 	if err != nil {
 		return nil, key, false, err
 	}
-	tm := model.ComputeTimes(sch)
+	eng, _ := s.engines.Get().(*model.Engine)
+	if eng == nil {
+		eng = new(model.Engine)
+	}
+	eng.Attach(sch)
+	rt, dt := eng.RT(), eng.DT()
+	s.engines.Put(eng)
 	bp := bounds.ParamsOf(canon)
 	p := &Plan{
 		Algo:         algo,
 		ScheduleJSON: js,
-		RT:           tm.RT,
-		DT:           tm.DT,
+		RT:           rt,
+		DT:           dt,
 		LowerBound:   lower.Best(canon),
 		Bound:        bp,
 	}

@@ -217,15 +217,20 @@ func Trials(sch *model.Schedule, n, workers int, mk func(trial int) Perturb) ([]
 	return results, nil
 }
 
-// CompareAnalytic runs the simulator without perturbation and verifies the
-// result against model.ComputeTimes, returning an error describing the
-// first mismatch. Used by conformance tests and the harness.
+// CompareAnalytic runs the simulator without perturbation and verifies
+// the result against the analytic recurrences evaluated on the flat
+// structure-of-arrays engine (whose own parity with model.ComputeTimes
+// is pinned in package model), returning an error describing the first
+// mismatch. Used by conformance tests and the harness.
 func CompareAnalytic(sch *model.Schedule) error {
 	res, err := Run(sch)
 	if err != nil {
 		return err
 	}
-	want := model.ComputeTimes(sch)
+	var eng model.Engine
+	eng.Attach(sch)
+	var want model.Times
+	eng.TimesInto(&want)
 	for v := range want.Delivery {
 		if res.Times.Delivery[v] != want.Delivery[v] {
 			return fmt.Errorf("sim: delivery[%d] = %d, analytic %d", v, res.Times.Delivery[v], want.Delivery[v])
