@@ -29,6 +29,22 @@ type Client struct {
 // New returns a client for the server at baseURL.
 func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
 
+// APIError is a non-2xx reply: the request reached a server and was
+// rejected, as opposed to a transport failure where it may never have
+// arrived. Fleet routing retries transport failures on other replicas
+// but returns APIErrors as-is (every replica would reject identically).
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-supplied error text, "" if none
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("%s (HTTP %d)", e.Message, e.Status)
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -65,13 +81,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: reading %s %s reply: %w", method, path, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		var apiErr struct {
+		var body struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		json.Unmarshal(data, &body)
+		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{Status: resp.StatusCode, Message: body.Error})
 	}
 	if out == nil {
 		return nil

@@ -6,6 +6,13 @@
 //
 //	hnowd -addr :8080 -cache 4096 -workers 8 -table-dir /var/lib/hnowd/tables
 //
+// Fleet mode shards table ownership across replicas by consistent hash
+// (peer tables are fetched, checksum-revalidated and cached locally):
+//
+//	hnowd -addr :8080 -self http://host1:8080 \
+//	      -peers http://host1:8080,http://host2:8080,http://host3:8080 \
+//	      -table-dir /var/lib/hnowd/tables
+//
 // Endpoints:
 //
 //	POST /v1/schedule     compute (or fetch) one plan
@@ -14,8 +21,11 @@
 //	POST /v1/table        warm the network's optimal DP table
 //	POST /v1/sweeps       start an async parameter sweep
 //	GET  /v1/sweeps/{id}  poll a sweep job
+//	GET  /v1/fleet/ring   fleet membership + digest
+//	GET  /v1/fleet/table/{key}  raw .hnowtbl bytes for peers (404 = not held)
+//	POST /v1/fleet/table/{key}  build-and-stream for peers (owner path)
 //	GET  /healthz         liveness + algorithm list
-//	GET  /debug/vars      expvar counters (cache hits/misses/evictions)
+//	GET  /debug/vars      expvar counters (cache, table, fleet)
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,7 +54,22 @@ func main() {
 	sweepMaxTrials := flag.Int("sweep-max-trials", 0, "per-request sweep trial cap (0 = default 50000)")
 	sweepMaxN := flag.Int("sweep-max-n", 0, "per-request sweep destination cap (0 = default 2048)")
 	sweepMaxK := flag.Int("sweep-max-k", 0, "per-request sweep type cap (0 = default 16)")
+	self := flag.String("self", "", "fleet mode: this replica's advertised base URL (e.g. http://10.0.0.3:8080); \"\" = single-node")
+	peers := flag.String("peers", "", "fleet mode: comma-separated base URLs of every replica (self is added if absent)")
+	fleetTimeout := flag.Duration("fleet-timeout", 0, "per-peer request timeout for fleet fetches (0 = default 5s)")
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		log.Fatal("hnowd: -peers requires -self (this replica's advertised URL)")
+	}
 
 	svc := service.New(service.Config{
 		CacheSize:      *cacheSize,
@@ -56,7 +82,14 @@ func main() {
 		SweepMaxTrials: *sweepMaxTrials,
 		SweepMaxN:      *sweepMaxN,
 		SweepMaxK:      *sweepMaxK,
+		Self:           *self,
+		Peers:          peerList,
+		FleetTimeout:   *fleetTimeout,
 	})
+	if *self != "" {
+		ring := svc.RingInfo()
+		log.Printf("hnowd: fleet mode, self=%s, %d members (ring %s)", ring.Self, len(ring.Members), ring.Hash)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

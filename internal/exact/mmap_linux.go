@@ -44,7 +44,7 @@ func OpenTableMapped(path string) (*Table, error) {
 	t, err := ReadTableBytes(data)
 	if err != nil {
 		syscall.Munmap(data)
-		return nil, fmt.Errorf("%s: %w: %w", path, ErrBadTable, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if !hostLittleEndian {
 		// The decode copied into the heap; nothing aliases the mapping.

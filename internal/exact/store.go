@@ -280,9 +280,20 @@ func ReadTableHeaderFile(path string) (*TableHeader, error) {
 // and choice regions (no copy, no per-state decode), so data must not be
 // modified afterwards — this is the mmap path: map the file and hand the
 // bytes here. Truncated, corrupted, version-skewed or otherwise implausible
-// inputs are rejected with an error; ReadTableBytes never panics on
-// malformed input and never returns a table that fails its checksum.
+// inputs are rejected with an error wrapping ErrBadTable; ReadTableBytes
+// never panics on malformed input and never returns a table that fails
+// its checksum. This is the trust boundary for bytes from peers as well
+// as files, so the validation-failure marker lives here rather than on
+// the file-reading wrappers.
 func ReadTableBytes(data []byte) (*Table, error) {
+	t, err := readTableBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadTable, err)
+	}
+	return t, nil
+}
+
+func readTableBytes(data []byte) (*Table, error) {
 	dp, headerLen, err := parseTableHeader(data)
 	if err != nil {
 		return nil, err
@@ -420,7 +431,7 @@ func ReadTableFile(path string) (*Table, error) {
 	}
 	t, err := ReadTableBytes(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w: %w", path, ErrBadTable, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return t, nil
 }

@@ -1,0 +1,145 @@
+// Package fleet implements the multi-node plumbing that turns hnowd into
+// a fleet: a rendezvous-hash ring assigning each canonical network key an
+// owner replica, and a per-peer circuit breaker guarding the peer fetch
+// paths. The package is transport-agnostic — it knows nothing about HTTP
+// or tables — so both the service (server-side routing) and the client
+// (owner-aware request routing) share one ownership function.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Ring is an immutable rendezvous-hash (highest-random-weight) membership
+// ring. Every member scores every key independently, and the owner is the
+// member with the highest score; removing a member reassigns only the keys
+// it owned (the consistent-hashing property), and no virtual-node table is
+// needed because HRW is uniformly balanced by construction. Membership
+// change is handled by building a new Ring — the type itself is immutable
+// and safe for concurrent use.
+type Ring struct {
+	members []string
+}
+
+// Normalize canonicalizes a member address the way NewRing does: outer
+// whitespace and trailing slashes stripped. Replicas and clients must
+// compare addresses in this form ("am I the owner?"), so the function is
+// exported.
+func Normalize(addr string) string {
+	return strings.TrimRight(strings.TrimSpace(addr), "/")
+}
+
+// NewRing builds a ring over the given member addresses. Members are
+// deduplicated and sorted, so rings built from permutations of one
+// membership list are identical (and hash identically). Empty strings are
+// dropped. A ring may be empty; Owner on an empty ring returns "".
+func NewRing(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		m = Normalize(m)
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return &Ring{members: out}
+}
+
+// Members returns the sorted member list. The slice is shared; callers
+// must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Contains reports whether addr is a member (after the same normalization
+// NewRing applies).
+func (r *Ring) Contains(addr string) bool {
+	addr = Normalize(addr)
+	i := sort.SearchStrings(r.members, addr)
+	return i < len(r.members) && r.members[i] == addr
+}
+
+// score is the rendezvous weight of (member, key): FNV-1a over
+// member\x00key, stable across processes and Go versions so every replica
+// and every client agrees on ownership.
+func score(member, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the member owning key: the highest rendezvous score, ties
+// broken toward the lexicographically smaller member. An empty ring owns
+// nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range r.members {
+		if s := score(m, key); best == "" || s > bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Rank returns every member ordered by descending rendezvous score for
+// key — the owner first, then the deterministic fallback order a client
+// should try replicas in.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		m string
+		s uint64
+	}
+	ss := make([]scored, len(r.members))
+	for i, m := range r.members {
+		ss[i] = scored{m, score(m, key)}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].s != ss[b].s {
+			return ss[a].s > ss[b].s
+		}
+		return ss[a].m < ss[b].m
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.m
+	}
+	return out
+}
+
+// Hash returns a short stable digest of the membership, so two replicas
+// (or a client and a replica) can cheaply check they agree on the ring.
+func (r *Ring) Hash() string {
+	h := sha256.New()
+	for _, m := range r.members {
+		h.Write([]byte(m))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// RingInfo is the JSON shape of GET /v1/fleet/ring: the replying
+// replica's advertised address, the full membership, and the membership
+// digest.
+type RingInfo struct {
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	Hash    string   `json:"hash"`
+}
+
+// Info packages the ring as a RingInfo advertised by self.
+func (r *Ring) Info(self string) RingInfo {
+	ms := make([]string, len(r.members))
+	copy(ms, r.members)
+	return RingInfo{Self: self, Members: ms, Hash: r.Hash()}
+}

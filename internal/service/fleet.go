@@ -1,0 +1,624 @@
+package service
+
+// Fleet mode: multi-node hnowd with consistent-hash table ownership.
+//
+// A static peer list (Config.Peers / hnowd -peers, with Config.Self the
+// advertised address of this replica) forms a rendezvous-hash ring over
+// the canonical network keys: every network has exactly one owner
+// replica, which is the only replica that runs its DP fill. The request
+// paths consult the ring:
+//
+//   - /v1/table on a non-owner first serves any locally cached or spilled
+//     copy, then cache-fills: it asks the owner to build-and-stream the
+//     raw .hnowtbl bytes (POST /v1/fleet/table/{key}), re-validates them
+//     through the exact store's checksum + choice-array validation
+//     (peers are untrusted by construction: a corrupt or truncated body
+//     is rejected with exact.ErrBadTable and counted in peer_errors),
+//     and inserts the table into its own byte-budgeted LRU and spill dir
+//     — single-flighted per key on the same tableFlight map the local
+//     load/build paths use.
+//   - /v1/compare with "optimal" on a non-owner consults the ring before
+//     any local cold DP solve: it tries a pure peer fetch
+//     (GET /v1/fleet/table/{key}) and, when the owner has no table
+//     either, forwards the whole request to the owner so the scalar
+//     solve lands in the owner's single-flighted result cache instead of
+//     being duplicated on every replica.
+//   - /v1/schedule on a plan-cache miss forwards to the owner and
+//     inserts the returned plan into the local cache, so repeats are
+//     served locally.
+//
+// Every peer interaction is bounded: per-request timeouts, one retry for
+// transport-level failures, and a per-peer circuit breaker. When the
+// owner is unreachable the replica falls back to local computation
+// (counted in fallback_builds) — the fleet degrades to independent
+// daemons rather than failing requests. Membership change is a ring
+// rebuild (Server.SetPeers): non-owners keep serving already-cached
+// tables, and new owners backfill on first request.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/fleet"
+	"repro/internal/model"
+)
+
+var (
+	expFleetOwnerHits      = expvar.NewInt("hnowd.fleet.owner_hits")
+	expFleetPeerFetches    = expvar.NewInt("hnowd.fleet.peer_fetches")
+	expFleetForwards       = expvar.NewInt("hnowd.fleet.forwards")
+	expFleetFallbackBuilds = expvar.NewInt("hnowd.fleet.fallback_builds")
+	expFleetPeerErrors     = expvar.NewInt("hnowd.fleet.peer_errors")
+)
+
+// Fleet role labels reported in TableResponse.Fleet.
+const (
+	// FleetRoleOwner: this replica owns the network key and served it
+	// from its own cache/spill/build.
+	FleetRoleOwner = "owner"
+	// FleetRolePeer: a non-owner served the request by fetching and
+	// ingesting the owner's table bytes.
+	FleetRolePeer = "peer"
+	// FleetRoleFallback: a non-owner computed locally because the owner
+	// was unreachable or served invalid bytes.
+	FleetRoleFallback = "fallback"
+)
+
+// fleetForwardHeader marks a request relayed by a fleet peer, so the
+// receiving replica serves it locally instead of re-forwarding (loop
+// prevention even under membership disagreement).
+const fleetForwardHeader = "X-Hnowd-Fleet-Forwarded"
+
+// FleetStats is a per-server snapshot of the fleet counters (the
+// process-wide aggregates surface as hnowd.fleet.* expvars).
+type FleetStats struct {
+	// OwnerHits counts requests this replica served for keys it owns.
+	OwnerHits int64 `json:"owner_hits"`
+	// PeerFetches counts tables successfully fetched from the owner and
+	// ingested (full checksum + choice validation) into the local cache.
+	PeerFetches int64 `json:"peer_fetches"`
+	// Forwards counts whole client requests relayed to the owner.
+	Forwards int64 `json:"forwards"`
+	// FallbackBuilds counts requests served by local computation because
+	// the owner was unreachable or its table bytes failed validation.
+	FallbackBuilds int64 `json:"fallback_builds"`
+	// PeerErrors counts failed peer interactions: transport errors after
+	// retries, unexpected statuses, and corrupt/truncated table bytes.
+	PeerErrors int64 `json:"peer_errors"`
+}
+
+// fleetState is the per-server fleet runtime: the membership ring, the
+// per-peer breakers and the HTTP client used for peer traffic.
+type fleetState struct {
+	self         string
+	timeout      time.Duration // ring, fetch and forward requests
+	buildTimeout time.Duration // build-and-stream requests (DP fills take minutes)
+	retries      int
+	brkThreshold int
+	brkCooldown  time.Duration
+	client       *http.Client
+
+	mu       sync.RWMutex
+	ring     *fleet.Ring
+	breakers map[string]*fleet.Breaker
+
+	ownerHits, peerFetches, forwards, fallbackBuilds, peerErrors atomic.Int64
+}
+
+const (
+	defaultFleetTimeout      = 5 * time.Second
+	defaultFleetBuildTimeout = 15 * time.Minute
+	defaultFleetRetries      = 1
+)
+
+func newFleetState(cfg Config) *fleetState {
+	f := &fleetState{
+		self:         fleet.Normalize(cfg.Self),
+		timeout:      cfg.FleetTimeout,
+		buildTimeout: cfg.FleetBuildTimeout,
+		retries:      cfg.FleetRetries,
+		brkThreshold: cfg.FleetBreakerThreshold,
+		brkCooldown:  cfg.FleetBreakerCooldown,
+		breakers:     map[string]*fleet.Breaker{},
+		client:       &http.Client{},
+	}
+	if f.timeout <= 0 {
+		f.timeout = defaultFleetTimeout
+	}
+	if f.buildTimeout <= 0 {
+		f.buildTimeout = defaultFleetBuildTimeout
+	}
+	if f.retries < 0 {
+		f.retries = defaultFleetRetries
+	}
+	f.ring = fleet.NewRing(append(append([]string{}, cfg.Peers...), cfg.Self))
+	return f
+}
+
+// setMembers rebuilds the ring over the given peer list (self is always a
+// member). Breakers for removed peers are dropped; surviving peers keep
+// their failure history.
+func (f *fleetState) setMembers(peers []string) {
+	r := fleet.NewRing(append(append([]string{}, peers...), f.self))
+	f.mu.Lock()
+	f.ring = r
+	for addr := range f.breakers {
+		if !r.Contains(addr) {
+			delete(f.breakers, addr)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// route returns the owner of key and whether this replica is it.
+func (f *fleetState) route(key string) (owner string, self bool) {
+	f.mu.RLock()
+	owner = f.ring.Owner(key)
+	f.mu.RUnlock()
+	return owner, owner == f.self || owner == ""
+}
+
+func (f *fleetState) info() fleet.RingInfo {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring.Info(f.self)
+}
+
+func (f *fleetState) breakerFor(addr string) *fleet.Breaker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.breakers[addr]
+	if !ok {
+		b = fleet.NewBreaker(f.brkThreshold, f.brkCooldown)
+		f.breakers[addr] = b
+	}
+	return b
+}
+
+func (f *fleetState) ownerHit()      { f.ownerHits.Add(1); expFleetOwnerHits.Add(1) }
+func (f *fleetState) peerFetch()     { f.peerFetches.Add(1); expFleetPeerFetches.Add(1) }
+func (f *fleetState) forwarded()     { f.forwards.Add(1); expFleetForwards.Add(1) }
+func (f *fleetState) fallbackBuild() { f.fallbackBuilds.Add(1); expFleetFallbackBuilds.Add(1) }
+func (f *fleetState) peerError()     { f.peerErrors.Add(1); expFleetPeerErrors.Add(1) }
+
+// recordBadPeer charges a peer for serving bytes that failed validation:
+// the response arrived, but a peer producing garbage is as broken as one
+// that is down.
+func (f *fleetState) recordBadPeer(addr string) {
+	f.peerError()
+	f.breakerFor(addr).Failure()
+}
+
+// peerRejectedError carries a semantic (non-transport) refusal from the
+// owner — e.g. the DP state space exceeds the build guard. The request
+// would fail identically locally, so callers relay it instead of falling
+// back.
+type peerRejectedError struct {
+	Status int
+	Msg    string
+}
+
+func (e *peerRejectedError) Error() string {
+	return fmt.Sprintf("peer rejected request (HTTP %d): %s", e.Status, e.Msg)
+}
+
+// errPeerMiss reports that the owner answered but does not have the
+// table (GET 404) — a legitimate outcome, not a peer failure.
+var errPeerMiss = errors.New("peer does not have the table")
+
+// errPeerUnavailable wraps transport-level peer failures (circuit open,
+// dial/timeout/5xx after retries).
+var errPeerUnavailable = errors.New("peer unavailable")
+
+// doPeer runs attempt against addr under the peer's circuit breaker with
+// bounded retry. Transport-level failures are retried once and, if
+// persistent, open the breaker and count toward peer_errors; semantic
+// outcomes (peerRejectedError, errPeerMiss) pass through untouched.
+func (f *fleetState) doPeer(addr string, attempt func() error) error {
+	br := f.breakerFor(addr)
+	if !br.Allow() {
+		return fmt.Errorf("%w: circuit open for %s", errPeerUnavailable, addr)
+	}
+	var err error
+	for i := 0; i <= f.retries; i++ {
+		err = attempt()
+		if err == nil {
+			br.Success()
+			return nil
+		}
+		var rej *peerRejectedError
+		if errors.As(err, &rej) || errors.Is(err, errPeerMiss) {
+			br.Success() // the peer is healthy; it just said no
+			return err
+		}
+	}
+	br.Failure()
+	f.peerError()
+	return fmt.Errorf("%w: %s: %v", errPeerUnavailable, addr, err)
+}
+
+// fleetTablePath is the peer-exchange URL for a network key. Keys contain
+// '|', ':' and '=' but never '/', so one escaped path segment carries them.
+func fleetTablePath(owner, key string) string {
+	return owner + "/v1/fleet/table/" + url.PathEscape(key)
+}
+
+// fetchTableBytes GETs the owner's spilled table bytes for key without
+// forcing a build. found is false when the owner answered 404.
+func (f *fleetState) fetchTableBytes(ctx context.Context, owner, key string) (data []byte, found bool, err error) {
+	err = f.doPeer(owner, func() error {
+		ctx, cancel := context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, fleetTablePath(owner, key), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return errPeerMiss
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("GET fleet table: HTTP %d", resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+		found = err == nil
+		return err
+	})
+	if errors.Is(err, errPeerMiss) {
+		return nil, false, nil
+	}
+	return data, found, err
+}
+
+// buildFetchBytes POSTs a build-and-stream request to the owner: the
+// owner materializes the table through its normal getOrBuild path (cache,
+// spill, or a fresh fill — single-flighted owner-side) and streams the
+// raw .hnowtbl bytes back. A 422 from the owner surfaces as
+// *peerRejectedError.
+func (f *fleetState) buildFetchBytes(ctx context.Context, owner, key string, body []byte) (data []byte, err error) {
+	err = f.doPeer(owner, func() error {
+		ctx, cancel := context.WithTimeout(ctx, f.buildTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, fleetTablePath(owner, key), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			var apiErr apiError
+			if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+				return &peerRejectedError{Status: resp.StatusCode, Msg: apiErr.Error}
+			}
+			return &peerRejectedError{Status: resp.StatusCode, Msg: string(msg)}
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("POST fleet table: HTTP %d", resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	return data, err
+}
+
+// forward relays a whole client request to the owner (marked with the
+// forward header so it is served there) and returns the owner's status
+// and body verbatim.
+func (f *fleetState) forward(ctx context.Context, owner, path string, body []byte) (status int, data []byte, err error) {
+	err = f.doPeer(owner, func() error {
+		ctx, cancel := context.WithTimeout(ctx, f.buildTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(fleetForwardHeader, "1")
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err = io.ReadAll(resp.Body)
+		status = resp.StatusCode
+		return err
+	})
+	if err == nil {
+		f.forwarded()
+	}
+	return status, data, err
+}
+
+// fleetEnabled reports whether this server runs in fleet mode.
+func (s *Server) fleetEnabled() bool { return s.fleet != nil }
+
+// fleetForwarded reports whether the request was relayed by a peer and
+// must be served locally.
+func fleetForwarded(r *http.Request) bool { return r.Header.Get(fleetForwardHeader) != "" }
+
+// NetworkKey returns the canonical network key of a set: latency plus the
+// sorted (send, recv) type inventory with per-type destination counts —
+// the unit of both table caching and fleet ownership. Owner-aware clients
+// hash this key through fleet.Ring to pick the replica to talk to.
+func NetworkKey(set *model.MulticastSet) (string, error) {
+	inst, err := exact.Analyze(Canonicalize(set))
+	if err != nil {
+		return "", err
+	}
+	return networkKey(inst.Set.Latency, inst.Types, inst.Counts), nil
+}
+
+// fleetKeyOf is NetworkKey for an already-canonical set.
+func fleetKeyOf(canon *model.MulticastSet) (string, error) {
+	inst, err := exact.Analyze(canon)
+	if err != nil {
+		return "", err
+	}
+	return networkKey(inst.Set.Latency, inst.Types, inst.Counts), nil
+}
+
+// SetPeers rebuilds the membership ring over the given peer list (self is
+// always included). Ownership handoff is graceful by construction:
+// non-owners keep serving tables already in their cache or spill, and a
+// key's new owner backfills through its normal build path on first
+// request.
+func (s *Server) SetPeers(peers []string) {
+	if s.fleet != nil {
+		s.fleet.setMembers(peers)
+	}
+}
+
+// RingInfo returns the current membership as advertised on
+// GET /v1/fleet/ring. Zero value when fleet mode is off.
+func (s *Server) RingInfo() fleet.RingInfo {
+	if s.fleet == nil {
+		return fleet.RingInfo{}
+	}
+	return s.fleet.info()
+}
+
+// FleetStats snapshots this server's fleet counters (zero when fleet mode
+// is off).
+func (s *Server) FleetStats() FleetStats {
+	if s.fleet == nil {
+		return FleetStats{}
+	}
+	return FleetStats{
+		OwnerHits:      s.fleet.ownerHits.Load(),
+		PeerFetches:    s.fleet.peerFetches.Load(),
+		Forwards:       s.fleet.forwards.Load(),
+		FallbackBuilds: s.fleet.fallbackBuilds.Load(),
+		PeerErrors:     s.fleet.peerErrors.Load(),
+	}
+}
+
+// TableBuilds reports how many DP table fills this server has run — the
+// per-replica number behind the fleet's "one build per key" guarantee.
+func (s *Server) TableBuilds() int64 { return s.tables.builds.Load() }
+
+// OptSolves reports how many one-off cold optimal-RT DP solves this
+// server has run for /v1/compare.
+func (s *Server) OptSolves() int64 { return s.tables.optSolves.Load() }
+
+// SpillIndexSize reports how many networks this server's spill index
+// knows about (0 without a table dir). Peer-ingested tables are indexed
+// immediately, not only on restart.
+func (s *Server) SpillIndexSize() int {
+	if s.tables.index == nil {
+		return 0
+	}
+	return s.tables.index.size()
+}
+
+// handleFleetRing serves GET /v1/fleet/ring.
+func (s *Server) handleFleetRing(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("fleet mode disabled (start with -self/-peers)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet.info())
+}
+
+// handleFleetTableGet serves GET /v1/fleet/table/{key}: the raw .hnowtbl
+// bytes of the keyed table from this replica's memory or spill, 404 when
+// it has none. It never builds — the pure fetch path peers use before
+// deciding to forward.
+func (s *Server) handleFleetTableGet(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("fleet mode disabled"))
+		return
+	}
+	key := r.PathValue("key")
+	t, ok := s.tables.loadKeyed(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table for key %q", key))
+		return
+	}
+	defer t.Release()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := t.WriteTo(w); err != nil {
+		// Too late for a status change; the client's checksum validation
+		// will reject the truncated body.
+		return
+	}
+}
+
+// handleFleetTablePost serves POST /v1/fleet/table/{key}: materialize the
+// table for the embedded set through the normal getOrBuild path (cache,
+// spill, or a single-flighted fresh fill) and stream its raw bytes. This
+// is the one-round-trip cache-fill peers use for /v1/table.
+func (s *Server) handleFleetTablePost(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("fleet mode disabled"))
+		return
+	}
+	key := r.PathValue("key")
+	var req TableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := decodeSet(req.Set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := exact.Analyze(Canonicalize(set))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if got := networkKey(inst.Set.Latency, inst.Types, inst.Counts); got != key {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("set resolves to key %q, path names %q", got, key))
+		return
+	}
+	workers := req.Parallelism
+	if workers <= 0 {
+		workers = s.tableWorkers
+	}
+	t, _, _, _, err := s.tables.getOrBuild(inst, workers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	defer t.Release()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	t.WriteTo(w)
+}
+
+// validatePeerTable re-validates fetched peer bytes through the store's
+// checksum + choice-array validation and pins the decoded table to the
+// requested key. Peers are untrusted: any failure is charged to the peer
+// and surfaces wrapped in exact.ErrBadTable.
+func (s *Server) validatePeerTable(owner, key string, data []byte) (*exact.Table, error) {
+	t, err := exact.ReadTableBytes(data)
+	if err != nil {
+		s.fleet.recordBadPeer(owner)
+		return nil, fmt.Errorf("ingesting table from %s: %w", owner, err)
+	}
+	if got := networkKey(t.Latency(), t.Types(), t.Counts()); got != key {
+		t.Close()
+		s.fleet.recordBadPeer(owner)
+		return nil, fmt.Errorf("%w: peer %s served table for key %q, want %q", exact.ErrBadTable, owner, got, key)
+	}
+	return t, nil
+}
+
+// serveFleetTable is /v1/table on a non-owner: local cache/spill first,
+// then a single-flighted build-and-fetch from the owner with full
+// re-validation, then — only if the owner is unreachable or served
+// garbage — a local fallback build.
+func (s *Server) serveFleetTable(w http.ResponseWriter, r *http.Request, owner, key string, inst *exact.Instance, workers int, req TableRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	fetch := func() (*exact.Table, error) {
+		data, err := s.fleet.buildFetchBytes(r.Context(), owner, key, body)
+		if err != nil {
+			return nil, err
+		}
+		return s.validatePeerTable(owner, key, data)
+	}
+	t, source, err := s.tables.ingestKeyed(key, fetch)
+	if err != nil {
+		var rej *peerRejectedError
+		if errors.As(err, &rej) {
+			// The owner understood the request and refused (e.g. state
+			// space over the build guard); a local build would fail the
+			// same way, so relay the refusal.
+			writeError(w, rej.Status, errors.New(rej.Msg))
+			return
+		}
+		// Owner unreachable or its bytes invalid: degrade to a local
+		// build so the fleet never makes a request fail that a single
+		// daemon could serve.
+		s.fleet.fallbackBuild()
+		t, _, source, buildTime, err := s.tables.getOrBuild(inst, workers)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		defer t.Release()
+		s.writeTableResponse(w, t, inst, key, source, buildTime, FleetRoleFallback)
+		return
+	}
+	defer t.Release()
+	role := ""
+	if source == TableCachePeer {
+		s.fleet.peerFetch()
+		role = FleetRolePeer
+	}
+	s.writeTableResponse(w, t, inst, key, source, 0, role)
+}
+
+// fleetOutcome classifies a non-owner's attempt to answer an optimal
+// lookup from the owner's table.
+type fleetOutcome int
+
+const (
+	fleetFound       fleetOutcome = iota // answered from the owner's table
+	fleetMiss                            // owner reachable but has no covering table
+	fleetUnreachable                     // owner down or serving garbage
+)
+
+// fleetOptimal tries to answer canon's exact optimum from the owner's
+// table without forcing a build: GET the bytes, ingest (validated, LRU,
+// spill, index), look up. Used by /v1/compare's optimal path so
+// non-owners never duplicate a cold solve the owner could serve.
+func (s *Server) fleetOptimal(ctx context.Context, owner, key string, canon *model.MulticastSet) (int64, fleetOutcome) {
+	fetch := func() (*exact.Table, error) {
+		data, found, err := s.fleet.fetchTableBytes(ctx, owner, key)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, errPeerMiss
+		}
+		return s.validatePeerTable(owner, key, data)
+	}
+	t, source, err := s.tables.ingestKeyed(key, fetch)
+	if err != nil {
+		if errors.Is(err, errPeerMiss) {
+			return 0, fleetMiss
+		}
+		return 0, fleetUnreachable
+	}
+	defer t.Release()
+	if source == TableCachePeer {
+		s.fleet.peerFetch()
+	}
+	if rt, ok := t.LookupSet(canon); ok {
+		return rt, fleetFound
+	}
+	return 0, fleetMiss
+}
+
+// relayResponse writes a forwarded peer response verbatim.
+func relayResponse(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

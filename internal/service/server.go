@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/lower"
@@ -51,6 +53,27 @@ type Config struct {
 	SweepMaxTrials int
 	SweepMaxN      int
 	SweepMaxK      int
+
+	// Self, when non-empty, enables fleet mode: it is this replica's
+	// advertised base URL (e.g. "http://10.0.0.3:8080"), the identity
+	// under which it appears in the membership ring. Peers lists every
+	// replica's base URL (Self is added if absent). A consistent-hash
+	// ring over the canonical network keys assigns each key an owner
+	// replica; see internal/service/fleet.go for the routing semantics.
+	Self  string
+	Peers []string
+	// FleetTimeout bounds ring, table-fetch and short peer requests
+	// (default 5s); FleetBuildTimeout bounds build-and-stream and
+	// forwarded requests, which may cover a DP fill (default 15m).
+	FleetTimeout      time.Duration
+	FleetBuildTimeout time.Duration
+	// FleetRetries is how many extra attempts follow a transport-level
+	// peer failure (default 1; semantic refusals are never retried).
+	FleetRetries int
+	// FleetBreakerThreshold consecutive failures open a peer's circuit
+	// for FleetBreakerCooldown (defaults 3 failures, 5s).
+	FleetBreakerThreshold int
+	FleetBreakerCooldown  time.Duration
 }
 
 // Server is the hnowd scheduling service: a plan cache over the
@@ -61,6 +84,7 @@ type Server struct {
 	tables       *tableCache
 	tableWorkers int
 	jobs         *jobStore
+	fleet        *fleetState // nil outside fleet mode
 	mux          *http.ServeMux
 	cancel       context.CancelFunc
 	// engines pools model.Engine values for plan scoring: concurrent
@@ -87,7 +111,13 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		cancel: cancel,
 	}
+	if cfg.Self != "" {
+		s.fleet = newFleetState(cfg)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/fleet/ring", s.handleFleetRing)
+	s.mux.HandleFunc("GET /v1/fleet/table/{key}", s.handleFleetTableGet)
+	s.mux.HandleFunc("POST /v1/fleet/table/{key}", s.handleFleetTablePost)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
@@ -286,7 +316,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if req.Algo == "" {
 		req.Algo = "greedy+leafrev"
 	}
-	p, key, hit, err := s.plan(set, req.Algo, req.Seed)
+	canon := Canonicalize(set)
+	if s.fleetEnabled() && !fleetForwarded(r) && s.fleetSchedule(w, r, canon, req) {
+		return
+	}
+	p, key, hit, err := s.planCanonical(canon, req.Algo, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -303,9 +337,72 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// fleetSchedule handles /v1/schedule in fleet mode on a plan-cache miss
+// for a network owned by another replica: the request is forwarded to
+// the owner (so expensive seeded heuristics run once fleet-wide) and the
+// returned plan is inserted into the local cache, making repeats local.
+// It reports whether it wrote the response; false falls through to the
+// normal local path (local hit, self-owned key, or owner unreachable).
+func (s *Server) fleetSchedule(w http.ResponseWriter, r *http.Request, canon *model.MulticastSet, req ScheduleRequest) bool {
+	seed := req.Seed
+	if !registry.Seeded(req.Algo) {
+		seed = 0
+	}
+	ck := KeyCanonical(canon, req.Algo, seed)
+	if _, ok := s.cache.Get(ck); ok {
+		return false // already cached here; serve locally
+	}
+	nkey, err := fleetKeyOf(canon)
+	if err != nil {
+		return false // invalid set: the local path reports the error
+	}
+	owner, self := s.fleet.route(nkey)
+	if self {
+		s.fleet.ownerHit()
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	status, data, err := s.fleet.forward(r.Context(), owner, "/v1/schedule", body)
+	if err != nil {
+		s.fleet.fallbackBuild() // owner unreachable: compute locally
+		return false
+	}
+	if status == http.StatusOK {
+		var resp ScheduleResponse
+		if json.Unmarshal(data, &resp) == nil && len(resp.Schedule) > 0 {
+			s.cache.Put(ck, &Plan{
+				Algo:         resp.Algo,
+				ScheduleJSON: resp.Schedule,
+				RT:           resp.RT,
+				DT:           resp.DT,
+				LowerBound:   resp.LowerBound,
+				Bound: bounds.Params{
+					AlphaMin: resp.Theorem1.AlphaMin,
+					AlphaMax: resp.Theorem1.AlphaMax,
+					Beta:     resp.Theorem1.Beta,
+					C:        resp.Theorem1.C,
+				},
+			})
+			resp.Cache = "forward"
+			writeJSON(w, status, resp)
+			return true
+		}
+	}
+	relayResponse(w, status, data)
+	return true
+}
+
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req CompareRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -315,6 +412,41 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canon := Canonicalize(set)
+
+	// Fleet consult for the exact optimum — before any local cold DP
+	// work on a network owned elsewhere (this covers the disk-fallback
+	// path too: lookupSetAny runs first, so local memory, spill and the
+	// covering index all still win, but a miss no longer silently
+	// duplicates the owner's solve).
+	var fleetOpt *int64
+	if req.Optimal && s.fleetEnabled() && !fleetForwarded(r) {
+		if opt, ok := s.tables.lookupSetAny(canon); ok {
+			fleetOpt = &opt
+		} else if nkey, err := fleetKeyOf(canon); err == nil {
+			if owner, self := s.fleet.route(nkey); !self {
+				opt, outcome := s.fleetOptimal(r.Context(), owner, nkey, canon)
+				switch outcome {
+				case fleetFound:
+					fleetOpt = &opt
+				case fleetMiss:
+					// The owner has no table either: forward the whole
+					// compare so the cold scalar solve lands in the owner's
+					// single-flighted result cache instead of running on
+					// every replica that asks.
+					if status, data, err := s.fleet.forward(r.Context(), owner, "/v1/compare", body); err == nil {
+						relayResponse(w, status, data)
+						return
+					}
+					s.fleet.fallbackBuild()
+				case fleetUnreachable:
+					s.fleet.fallbackBuild()
+				}
+			} else {
+				s.fleet.ownerHit()
+			}
+		}
+	}
+
 	resp := CompareResponse{RT: map[string]int64{}}
 	for _, sched := range registry.Schedulers(req.Seed) {
 		p, _, _, err := s.planCanonical(canon, sched.Name(), req.Seed)
@@ -334,7 +466,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		// otherwise fall back to a one-off DP solve — single-flighted and
 		// result-cached, so N concurrent cold compares of one network run
 		// one DP, not N, and never more than the build bound at once.
-		if opt, ok := s.tables.lookupSetAny(canon); ok {
+		if fleetOpt != nil {
+			resp.Optimal = fleetOpt
+		} else if opt, ok := s.tables.lookupSetAny(canon); ok {
 			resp.Optimal = &opt
 		} else if opt, err := s.tables.optimalRT(canon); err == nil {
 			resp.Optimal = &opt

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exact"
@@ -46,6 +47,9 @@ const (
 	// TableCacheDisk: the table was loaded from the -table-dir spill
 	// persisted by an earlier build (possibly before a restart).
 	TableCacheDisk = "disk"
+	// TableCachePeer: the table was fetched from its fleet owner and
+	// ingested (re-validated, cached, spilled) by this request.
+	TableCachePeer = "peer"
 )
 
 // TableRequest asks the service to materialize (or reuse) the full optimal
@@ -83,6 +87,12 @@ type TableResponse struct {
 	// SizeBytes is the table's resident cost against the server's table
 	// memory budget (mapping length when mapped, array bytes otherwise).
 	SizeBytes int64 `json:"size_bytes"`
+	// Fleet reports this replica's role for the request in fleet mode:
+	// "owner" (this replica owns the key), "peer" (the table was just
+	// fetched from the owner) or "fallback" (local build because the
+	// owner was unreachable). Empty outside fleet mode and for
+	// non-owner local cache hits.
+	Fleet string `json:"fleet,omitempty"`
 }
 
 // FromDisk reports whether the table was warmed from the persisted spill
@@ -142,6 +152,13 @@ type tableCache struct {
 	inflight map[string]*tableFlight
 	buildSem chan struct{}
 	index    *spillIndex // nil when dir == ""
+
+	// builds / optSolves are this cache's own counters (the expvars
+	// aggregate across every cache in the process): DP table fills run
+	// and one-off cold optimal solves run. Fleet tests and hnowload read
+	// them per replica to prove single fleet-wide builds.
+	builds    atomic.Int64
+	optSolves atomic.Int64
 
 	// optimal-RT fallback: single-flight plus a bounded scalar cache, so
 	// N concurrent cold compares of one network run one DP, and repeats
@@ -425,6 +442,71 @@ func (c *tableCache) loadKeyed(key string) (*exact.Table, bool) {
 	}
 }
 
+// ingestKeyed resolves key through memory, then disk, then the given
+// fetch function — the fleet cache-fill path. It reuses the same
+// tableFlight single-flight map as the local load/build paths, so a
+// stampede of non-owner requests for one key performs one peer fetch
+// (and one validation pass) fleet-node-wide, with the outcome — success
+// or failure — shared by the whole waiting cohort. A successfully
+// fetched table is inserted into the byte-budgeted LRU and persisted to
+// the spill dir (which also updates the in-memory spill index and the
+// index_size expvar immediately, exactly like a local build). The
+// returned table is borrowed; Release when done. source is one of
+// TableCacheHit, TableCacheDisk or TableCachePeer.
+func (c *tableCache) ingestKeyed(key string, fetch func() (*exact.Table, error)) (*exact.Table, string, error) {
+	for {
+		c.mu.Lock()
+		if t, ok := c.retainLocked(key); ok {
+			c.mu.Unlock()
+			expTableHits.Add(1)
+			return t, TableCacheHit, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, "", fl.err // share the cohort's failure
+			}
+			// Either promoted to the cache (grab it on the next pass) or a
+			// negative disk probe from loadKeyed (then we fetch ourselves).
+			continue
+		}
+		fl := &tableFlight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		if t, ok := c.loadFromDisk(key); ok {
+			c.mu.Lock()
+			c.putLocked(key, t)
+			t.Retain()
+			fl.table = t
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+			return t, TableCacheDisk, nil
+		}
+
+		t, err := fetch()
+		if err != nil {
+			c.mu.Lock()
+			fl.err = err
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+			return nil, "", err
+		}
+		c.mu.Lock()
+		c.putLocked(key, t)
+		t.Retain()
+		fl.table = t
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fl.done)
+		c.saveToDisk(key, t)
+		return t, TableCachePeer, nil
+	}
+}
+
 // lookupSetAny is lookupSet with a disk fallback: a set not covered by
 // any in-memory table is answered from the spill — first the file keyed
 // by the set's own inventory, then the in-memory spill index for any
@@ -524,6 +606,7 @@ func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table
 			return nil, key, TableCacheMiss, 0, err
 		}
 		expTableBuilds.Add(1)
+		c.builds.Add(1)
 		c.mu.Lock()
 		c.putLocked(key, t)
 		t.Retain()
@@ -568,6 +651,7 @@ func (c *tableCache) optimalRT(canon *model.MulticastSet) (int64, error) {
 	rt, err := exact.OptimalRT(canon)
 	<-c.buildSem
 	expOptSolves.Add(1)
+	c.optSolves.Add(1)
 
 	c.optMu.Lock()
 	if err == nil {
@@ -584,6 +668,28 @@ func (c *tableCache) optimalRT(canon *model.MulticastSet) (int64, error) {
 	fl.rt, fl.err = rt, err
 	close(fl.done)
 	return rt, err
+}
+
+// writeTableResponse renders the common /v1/table reply for a borrowed
+// table (the caller still holds the borrow for the duration of the call).
+func (s *Server) writeTableResponse(w http.ResponseWriter, table *exact.Table, inst *exact.Instance, key, source string, buildTime time.Duration, fleetRole string) {
+	opt, err := table.Lookup(inst.SourceType, inst.Counts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TableResponse{
+		Key:         key,
+		Cache:       source,
+		K:           table.K(),
+		States:      table.States(),
+		Counts:      table.Counts(),
+		OptimalRT:   opt,
+		BuildMillis: buildTime.Milliseconds(),
+		Mapped:      table.Mapped(),
+		SizeBytes:   table.SizeBytes(),
+		Fleet:       fleetRole,
+	})
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -607,26 +713,30 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.tableWorkers
 	}
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
+	fleetRole := ""
+	if s.fleetEnabled() && !fleetForwarded(r) {
+		// The ring is consulted only after the local cache: a replica
+		// that already holds the table (e.g. the key's previous owner
+		// after a membership change) keeps serving it until evicted.
+		if t, ok := s.tables.get(key); ok {
+			defer t.Release()
+			expTableHits.Add(1)
+			s.writeTableResponse(w, t, inst, key, TableCacheHit, 0, "")
+			return
+		}
+		if owner, self := s.fleet.route(key); !self {
+			s.serveFleetTable(w, r, owner, key, inst, workers, req)
+			return
+		}
+		s.fleet.ownerHit()
+		fleetRole = FleetRoleOwner
+	}
 	table, key, source, buildTime, err := s.tables.getOrBuild(inst, workers)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	defer table.Release()
-	opt, err := table.Lookup(inst.SourceType, inst.Counts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, TableResponse{
-		Key:         key,
-		Cache:       source,
-		K:           table.K(),
-		States:      table.States(),
-		Counts:      table.Counts(),
-		OptimalRT:   opt,
-		BuildMillis: buildTime.Milliseconds(),
-		Mapped:      table.Mapped(),
-		SizeBytes:   table.SizeBytes(),
-	})
+	s.writeTableResponse(w, table, inst, key, source, buildTime, fleetRole)
 }
