@@ -24,11 +24,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/heur"
@@ -41,15 +45,21 @@ func main() {
 	jsonMode := flag.Bool("json", false, "run the perf suites and emit JSON instead of experiments")
 	out := flag.String("out", "BENCH_dp.json", "output path of the DP suite for -json (\"-\" for stdout)")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "output path of the engine suite for -json (\"-\" for stdout, \"\" to skip)")
+	cpu := flag.String("cpu", "", "comma-separated worker/GOMAXPROCS values for the parallel rows (default \"1,4,NumCPU\", deduplicated)")
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runPerfSuite(*out); err != nil {
+		cpus, err := parseCPUList(*cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runPerfSuite(*out, cpus); err != nil {
 			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
 			os.Exit(1)
 		}
 		if *engineOut != "" {
-			if err := runEngineSuite(*engineOut); err != nil {
+			if err := runEngineSuite(*engineOut, cpus); err != nil {
 				fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
 				os.Exit(1)
 			}
@@ -88,6 +98,41 @@ func main() {
 	fmt.Println(f())
 }
 
+// parseCPUList parses the -cpu flag: a comma-separated list of positive
+// worker counts, defaulting to {1, 4, NumCPU} so the parallel rows show
+// the scaling story on any box. The list is deduplicated and sorted.
+func parseCPUList(s string) ([]int, error) {
+	var vals []int
+	if s == "" {
+		vals = []int{1, 4, runtime.NumCPU()}
+	} else {
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("invalid -cpu entry %q (want positive integers)", f)
+			}
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// withProcs runs fn under the given GOMAXPROCS, restoring the previous
+// value: the parallel rows measure real contention at each width, not
+// whatever the harness happened to inherit.
+func withProcs(procs int, fn func()) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
 // benchResult is one perf-suite measurement.
 type benchResult struct {
 	Name        string `json:"name"`
@@ -95,6 +140,9 @@ type benchResult struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// GoMaxProcs is set on rows measured under an explicit GOMAXPROCS
+	// (the -cpu matrix); 0 means the process default.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 }
 
 // benchReport is the BENCH_dp.json document.
@@ -148,16 +196,18 @@ func heurSetN(n int) (*model.MulticastSet, error) {
 	return set, set.Validate()
 }
 
-func runPerfSuite(out string) error {
+func runPerfSuite(out string, cpus []int) error {
 	hs, err := heurSet()
 	if err != nil {
 		return err
 	}
-	cases := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"dp_solve_k2_n40", func(b *testing.B) {
+	type perfCase struct {
+		name  string
+		procs int // run under this GOMAXPROCS when > 0
+		fn    func(b *testing.B)
+	}
+	cases := []perfCase{
+		{"dp_solve_k2_n40", 0, func(b *testing.B) {
 			set := k2n40()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -166,7 +216,7 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-		{"dp_fillall_reference_k3_n60", func(b *testing.B) {
+		{"dp_fillall_reference_k3_n60", 0, func(b *testing.B) {
 			set := k3n60()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -175,7 +225,7 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-		{"dp_fillall_seq_k3_n60", func(b *testing.B) {
+		{"dp_fillall_seq_k3_n60", 0, func(b *testing.B) {
 			set := k3n60()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -184,19 +234,30 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-		{"dp_fillall_par8_k3_n60", func(b *testing.B) {
-			set := k3n60()
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := exact.BuildTableParallel(set, 8); err != nil {
-					b.Fatal(err)
+	}
+	// The parallel fill at each -cpu width, run under a matching
+	// GOMAXPROCS so the row measures real cores, not oversubscription.
+	for _, w := range cpus {
+		w := w
+		cases = append(cases, perfCase{
+			name:  fmt.Sprintf("dp_fillall_par_k3_n60_w%d", w),
+			procs: w,
+			fn: func(b *testing.B) {
+				set := k3n60()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exact.BuildTableParallel(set, w); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		}},
+			},
+		})
+	}
+	cases = append(cases, []perfCase{
 		// The two move-evaluation strategies side by side: the seed's full
 		// allocating ComputeTimes walk per candidate vs the incremental
 		// subtree recompute the heuristics now use.
-		{"move_eval_full_n64", func(b *testing.B) {
+		{"move_eval_full_n64", 0, func(b *testing.B) {
 			sch, err := heur.SlowestFirst{}.Schedule(hs)
 			if err != nil {
 				b.Fatal(err)
@@ -220,7 +281,7 @@ func runPerfSuite(out string) error {
 				_ = model.RT(sch)
 			}
 		}},
-		{"move_eval_incremental_n64", func(b *testing.B) {
+		{"move_eval_incremental_n64", 0, func(b *testing.B) {
 			sch, err := heur.SlowestFirst{}.Schedule(hs)
 			if err != nil {
 				b.Fatal(err)
@@ -248,7 +309,7 @@ func runPerfSuite(out string) error {
 				tm.RecomputeFrom(sch, y)
 			}
 		}},
-		{"local_search_n64", func(b *testing.B) {
+		{"local_search_n64", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (heur.LocalSearch{MaxRounds: 10}).Schedule(hs); err != nil {
@@ -256,7 +317,7 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-		{"annealing_n64", func(b *testing.B) {
+		{"annealing_n64", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (heur.Annealing{Seed: 5, Iters: 2000}).Schedule(hs); err != nil {
@@ -264,7 +325,7 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-		{"beam_search_n64", func(b *testing.B) {
+		{"beam_search_n64", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (heur.BeamSearch{}).Schedule(hs); err != nil {
@@ -272,7 +333,7 @@ func runPerfSuite(out string) error {
 				}
 			}
 		}},
-	}
+	}...)
 	report := benchReport{
 		Tool:       "hnowbench -json",
 		GoOS:       runtime.GOOS,
@@ -281,13 +342,19 @@ func runPerfSuite(out string) error {
 	}
 	nsOf := map[string]int64{}
 	for _, c := range cases {
-		r := testing.Benchmark(c.fn)
+		var r testing.BenchmarkResult
+		if c.procs > 0 {
+			withProcs(c.procs, func() { r = testing.Benchmark(c.fn) })
+		} else {
+			r = testing.Benchmark(c.fn)
+		}
 		br := benchResult{
 			Name:        c.name,
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			GoMaxProcs:  c.procs,
 		}
 		nsOf[c.name] = br.NsPerOp
 		report.Results = append(report.Results, br)
@@ -323,6 +390,11 @@ type engineBenchResult struct {
 	NsPerMove   float64 `json:"ns_per_move,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Workers and SchedulesPerSec are set on the sweep-scoring rows: the
+	// worker count (== GOMAXPROCS) the row ran under and the perturbed
+	// schedule scorings completed per second.
+	Workers         int     `json:"workers,omitempty"`
+	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
 }
 
 // engineReport is the BENCH_engine.json document. The speedup fields are
@@ -337,6 +409,10 @@ type engineReport struct {
 	Results              []engineBenchResult `json:"results"`
 	SpeedupEvalMovesN64  float64             `json:"speedup_evalmoves_vs_recompute_n64"`
 	SpeedupEvalMovesN256 float64             `json:"speedup_evalmoves_vs_recompute_n256"`
+	// SpeedupBatchedSweepN64 is batched schedules/sec over per-schedule
+	// schedules/sec at the NumCPU worker row (largest -cpu width when
+	// NumCPU is not in the matrix).
+	SpeedupBatchedSweepN64 float64 `json:"speedup_batched_sweep_n64"`
 }
 
 // swapNeighborhood generates the full swap neighborhood the heuristics
@@ -355,10 +431,12 @@ func swapNeighborhood(set *model.MulticastSet) []model.Move {
 	return moves
 }
 
-func runEngineSuite(out string) error {
+func runEngineSuite(out string, cpus []int) error {
 	type benchCase struct {
 		name  string
 		moves int // neighborhood size for ns/move cases, 0 otherwise
+		procs int // run under this GOMAXPROCS when > 0
+		draws int // schedule scorings per op for the sweep rows, 0 otherwise
 		fn    func(b *testing.B)
 	}
 	var cases []benchCase
@@ -373,7 +451,7 @@ func runEngineSuite(out string) error {
 		}
 		moves := swapNeighborhood(set)
 		cases = append(cases,
-			benchCase{fmt.Sprintf("engine_evalmoves_swapnbhd_n%d", n), len(moves), func(b *testing.B) {
+			benchCase{name: fmt.Sprintf("engine_evalmoves_swapnbhd_n%d", n), moves: len(moves), fn: func(b *testing.B) {
 				var eng model.Engine
 				eng.Attach(sch)
 				outRT := make([]int64, len(moves))
@@ -383,7 +461,7 @@ func runEngineSuite(out string) error {
 					eng.EvalMoves(moves, outRT)
 				}
 			}},
-			benchCase{fmt.Sprintf("recompute_swapnbhd_n%d", n), len(moves), func(b *testing.B) {
+			benchCase{name: fmt.Sprintf("recompute_swapnbhd_n%d", n), moves: len(moves), fn: func(b *testing.B) {
 				var tm model.Times
 				model.ComputeTimesInto(sch, &tm)
 				b.ReportAllocs()
@@ -410,7 +488,7 @@ func runEngineSuite(out string) error {
 		return err
 	}
 	cases = append(cases,
-		benchCase{"local_search_engine_n64", 0, func(b *testing.B) {
+		benchCase{name: "local_search_engine_n64", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (heur.LocalSearch{MaxRounds: 10}).Schedule(hs); err != nil {
@@ -418,7 +496,7 @@ func runEngineSuite(out string) error {
 				}
 			}
 		}},
-		benchCase{"annealing_engine_n64", 0, func(b *testing.B) {
+		benchCase{name: "annealing_engine_n64", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (heur.Annealing{Seed: 5, Iters: 2000}).Schedule(hs); err != nil {
@@ -427,6 +505,112 @@ func runEngineSuite(out string) error {
 			}
 		}},
 	)
+	// The batched-sweep head-to-head: score one schedule shape under
+	// sweepDraws perturbed cost draws (common random numbers, drawn once
+	// up front), at each -cpu width. The per-schedule path is what the
+	// sweep executor did before BatchEngine: mutate a cloned set's costs
+	// in place and re-derive Times from scratch per draw (model.RT — one
+	// full allocating walk each). The batched path attaches the schedule
+	// shape once and streams 64-draw chunks through BatchEngine lanes.
+	const sweepDraws, sweepN = 512, 64
+	sset, err := heurSetN(sweepN)
+	if err != nil {
+		return err
+	}
+	ssch, err := heur.SlowestFirst{}.Schedule(sset)
+	if err != nil {
+		return err
+	}
+	nn := len(sset.Nodes)
+	rng := rand.New(rand.NewSource(42))
+	jit := func(base int64) int64 {
+		v := int64(float64(base) * (0.75 + 0.5*rng.Float64()))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	type costDraw struct {
+		send, recv, lat []int64 // per NodeID; lat is uniform per draw
+	}
+	draws := make([]costDraw, sweepDraws)
+	for t := range draws {
+		d := costDraw{send: make([]int64, nn), recv: make([]int64, nn), lat: make([]int64, nn)}
+		for i := 0; i < nn; i++ {
+			d.send[i] = jit(sset.Nodes[i].Send)
+			d.recv[i] = jit(sset.Nodes[i].Recv)
+		}
+		L := jit(sset.Latency)
+		for i := range d.lat {
+			d.lat[i] = L
+		}
+		draws[t] = d
+	}
+	for _, w := range cpus {
+		w := w
+		cases = append(cases,
+			benchCase{name: fmt.Sprintf("sweep_score_perschedule_n%d_w%d", sweepN, w), procs: w, draws: sweepDraws, fn: func(b *testing.B) {
+				sets := make([]*model.MulticastSet, w)
+				schs := make([]*model.Schedule, w)
+				sinks := make([]int64, w)
+				for i := range sets {
+					cs := &model.MulticastSet{Latency: sset.Latency, Nodes: append([]model.Node(nil), sset.Nodes...)}
+					s2, err := heur.SlowestFirst{}.Schedule(cs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sets[i], schs[i] = cs, s2
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					batch.ForEach(w, sweepDraws, func(wk, t int) {
+						cs := sets[wk]
+						d := &draws[t]
+						for j := range cs.Nodes {
+							cs.Nodes[j].Send = d.send[j]
+							cs.Nodes[j].Recv = d.recv[j]
+						}
+						cs.Latency = d.lat[0]
+						sinks[wk] += model.RT(schs[wk])
+					})
+				}
+			}},
+			benchCase{name: fmt.Sprintf("sweep_score_batched_n%d_w%d", sweepN, w), procs: w, draws: sweepDraws, fn: func(b *testing.B) {
+				const lanes = 64
+				chunks := (sweepDraws + lanes - 1) / lanes
+				bes := make([]*model.BatchEngine, w)
+				sinks := make([]int64, w)
+				type laneVecs struct{ send, recv, lat [][]int64 }
+				scr := make([]laneVecs, w)
+				for i := range bes {
+					// The shape is fixed across the whole sweep, so each
+					// worker attaches once and streams chunks through it.
+					bes[i] = new(model.BatchEngine)
+					bes[i].Attach(ssch, lanes)
+					scr[i] = laneVecs{make([][]int64, lanes), make([][]int64, lanes), make([][]int64, lanes)}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					batch.ForEach(w, chunks, func(wk, c int) {
+						lo := c * lanes
+						hi := min(lo+lanes, sweepDraws)
+						be, sv := bes[wk], &scr[wk]
+						for t := lo; t < hi; t++ {
+							d := &draws[t]
+							sv.send[t-lo], sv.recv[t-lo], sv.lat[t-lo] = d.send, d.recv, d.lat
+						}
+						be.SetLanes(sv.send[:hi-lo], sv.recv[:hi-lo], sv.lat[:hi-lo])
+						be.EvalAll()
+						for _, rt := range be.RTs()[:hi-lo] {
+							sinks[wk] += rt
+						}
+					})
+				}
+			}},
+		)
+	}
 	report := engineReport{
 		Tool:       "hnowbench -json (engine suite)",
 		GoOS:       runtime.GOOS,
@@ -434,28 +618,48 @@ func runEngineSuite(out string) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	nsPerMove := map[string]float64{}
+	spsOf := map[string]float64{}
 	for _, c := range cases {
-		r := testing.Benchmark(c.fn)
+		var r testing.BenchmarkResult
+		if c.procs > 0 {
+			withProcs(c.procs, func() { r = testing.Benchmark(c.fn) })
+		} else {
+			r = testing.Benchmark(c.fn)
+		}
 		br := engineBenchResult{
 			Name:        c.name,
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Workers:     c.procs,
 		}
 		if c.moves > 0 {
 			br.NsPerMove = float64(r.NsPerOp()) / float64(c.moves)
 			nsPerMove[c.name] = br.NsPerMove
 		}
+		if c.draws > 0 && r.NsPerOp() > 0 {
+			br.SchedulesPerSec = float64(c.draws) * 1e9 / float64(r.NsPerOp())
+			spsOf[c.name] = br.SchedulesPerSec
+		}
 		report.Results = append(report.Results, br)
-		fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10.1f ns/move %8d allocs/op\n",
-			c.name, br.NsPerOp, br.NsPerMove, br.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10.1f ns/move %12.0f sch/s %8d allocs/op\n",
+			c.name, br.NsPerOp, br.NsPerMove, br.SchedulesPerSec, br.AllocsPerOp)
 	}
 	if ev := nsPerMove["engine_evalmoves_swapnbhd_n64"]; ev > 0 {
 		report.SpeedupEvalMovesN64 = nsPerMove["recompute_swapnbhd_n64"] / ev
 	}
 	if ev := nsPerMove["engine_evalmoves_swapnbhd_n256"]; ev > 0 {
 		report.SpeedupEvalMovesN256 = nsPerMove["recompute_swapnbhd_n256"] / ev
+	}
+	wStar := cpus[len(cpus)-1]
+	for _, w := range cpus {
+		if w == runtime.NumCPU() {
+			wStar = w
+		}
+	}
+	if ps := spsOf[fmt.Sprintf("sweep_score_perschedule_n%d_w%d", sweepN, wStar)]; ps > 0 {
+		report.SpeedupBatchedSweepN64 = spsOf[fmt.Sprintf("sweep_score_batched_n%d_w%d", sweepN, wStar)] / ps
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -469,7 +673,7 @@ func runEngineSuite(out string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (EvalMoves vs per-move RecomputeFrom: %.1fx at n=64, %.1fx at n=256)\n",
-		out, report.SpeedupEvalMovesN64, report.SpeedupEvalMovesN256)
+	fmt.Fprintf(os.Stderr, "wrote %s (EvalMoves vs per-move RecomputeFrom: %.1fx at n=64, %.1fx at n=256; batched sweep vs per-schedule at w=%d: %.1fx)\n",
+		out, report.SpeedupEvalMovesN64, report.SpeedupEvalMovesN256, wStar, report.SpeedupBatchedSweepN64)
 	return nil
 }

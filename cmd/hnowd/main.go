@@ -25,7 +25,8 @@
 //	GET  /v1/fleet/table/{key}  raw .hnowtbl bytes for peers (404 = not held)
 //	POST /v1/fleet/table/{key}  build-and-stream for peers (owner path)
 //	GET  /healthz         liveness + algorithm list
-//	GET  /debug/vars      expvar counters (cache, table, fleet)
+//	GET  /debug/vars      expvar counters (cache, table, fleet, batch pool)
+//	GET  /debug/pprof/*   profiling endpoints (only with -pprof)
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -54,6 +56,8 @@ func main() {
 	sweepMaxTrials := flag.Int("sweep-max-trials", 0, "per-request sweep trial cap (0 = default 50000)")
 	sweepMaxN := flag.Int("sweep-max-n", 0, "per-request sweep destination cap (0 = default 2048)")
 	sweepMaxK := flag.Int("sweep-max-k", 0, "per-request sweep type cap (0 = default 16)")
+	sweepMaxPerturbed := flag.Int("sweep-max-perturbed", 0, "per-request perturbed-rescoring cap for sweeps (0 = default 4096)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	self := flag.String("self", "", "fleet mode: this replica's advertised base URL (e.g. http://10.0.0.3:8080); \"\" = single-node")
 	peers := flag.String("peers", "", "fleet mode: comma-separated base URLs of every replica (self is added if absent)")
 	fleetTimeout := flag.Duration("fleet-timeout", 0, "per-peer request timeout for fleet fetches (0 = default 5s)")
@@ -72,27 +76,43 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		CacheSize:      *cacheSize,
-		CacheShards:    *cacheShards,
-		Workers:        *workers,
-		MaxJobs:        *maxJobs,
-		TableMemBytes:  *tableMem << 20,
-		TableWorkers:   *tableWorkers,
-		TableDir:       *tableDir,
-		SweepMaxTrials: *sweepMaxTrials,
-		SweepMaxN:      *sweepMaxN,
-		SweepMaxK:      *sweepMaxK,
-		Self:           *self,
-		Peers:          peerList,
-		FleetTimeout:   *fleetTimeout,
+		CacheSize:         *cacheSize,
+		CacheShards:       *cacheShards,
+		Workers:           *workers,
+		MaxJobs:           *maxJobs,
+		TableMemBytes:     *tableMem << 20,
+		TableWorkers:      *tableWorkers,
+		TableDir:          *tableDir,
+		SweepMaxTrials:    *sweepMaxTrials,
+		SweepMaxN:         *sweepMaxN,
+		SweepMaxK:         *sweepMaxK,
+		SweepMaxPerturbed: *sweepMaxPerturbed,
+		Self:              *self,
+		Peers:             peerList,
+		FleetTimeout:      *fleetTimeout,
 	})
 	if *self != "" {
 		ring := svc.RingInfo()
 		log.Printf("hnowd: fleet mode, self=%s, %d members (ring %s)", ring.Self, len(ring.Members), ring.Hash)
 	}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service handler owns "/" (including /debug/vars); graft the
+		// pprof routes on top so profiling is opt-in and everything else
+		// falls through untouched.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("hnowd: pprof profiling enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -7,6 +7,7 @@ package batch
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,13 +83,18 @@ type Result struct {
 	Index int
 	// RT maps scheduler name to reception completion time.
 	RT map[string]int64
+	// JitterRT maps scheduler name to its mean reception completion time
+	// across the sweep's perturbed cost draws. Nil unless Sweep.Perturbed
+	// is positive.
+	JitterRT map[string]float64
 	// Err records a generation or scheduling failure; other fields are
 	// zero when set.
 	Err error
 }
 
 // Sweep describes a parallel experiment: Trials instances produced by Gen
-// and evaluated by every scheduler.
+// and evaluated by every scheduler, optionally rescored under drawn cost
+// jitter to measure robustness of the fixed trees.
 type Sweep struct {
 	// Gen builds the i-th instance. It must be safe for concurrent calls
 	// with distinct i (pure functions of i, e.g. seeded generators, are).
@@ -101,6 +107,37 @@ type Sweep struct {
 	Trials int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
+
+	// Perturbed, when positive, additionally scores every scheduler's
+	// tree under this many perturbed cost draws per instance and reports
+	// the mean in Result.JitterRT. Draws use common random numbers: all
+	// schedulers of one instance see the same cost vectors, so their
+	// JitterRT values are directly comparable.
+	Perturbed int
+	// Jitter is the uniform perturbation amplitude: each cost is scaled
+	// by an independent factor in [1-Jitter, 1+Jitter], clamped to at
+	// least one time unit. Must be in [0, 1) when Perturbed is positive.
+	Jitter float64
+	// JitterSeed seeds the draws; instance i uses JitterSeed+i, so the
+	// sweep is deterministic regardless of parallelism.
+	JitterSeed int64
+}
+
+// sweepLanes is the batch width of the perturbed rescoring pass: chunks
+// of this many draws share one BatchEngine attachment.
+const sweepLanes = 64
+
+// sweepScratch is one worker's reusable evaluation state: the flat
+// engine that replaces per-call ComputeTimes allocation for nominal
+// scoring, and (for perturbed sweeps) a pooled batch engine plus drawn
+// cost vectors. Indexed by the stable ForEach worker id, so no locking.
+type sweepScratch struct {
+	eng   model.Engine
+	be    *model.BatchEngine // lazily from Engines, returned after the sweep
+	schs  []*model.Schedule
+	draws [][3][]int64 // per lane: send, recv, latency vectors
+	costs [3][][]int64 // the same draws regrouped per kind for SetLanes
+	sums  []float64
 }
 
 // Run executes the sweep and returns one Result per trial, in trial
@@ -116,6 +153,12 @@ func (s Sweep) Run() ([]Result, error) {
 	if len(s.Schedulers) == 0 {
 		return nil, fmt.Errorf("batch: no schedulers")
 	}
+	if s.Perturbed < 0 {
+		return nil, fmt.Errorf("batch: negative perturbed draw count")
+	}
+	if s.Perturbed > 0 && (s.Jitter < 0 || s.Jitter >= 1) {
+		return nil, fmt.Errorf("batch: jitter amplitude %v outside [0, 1)", s.Jitter)
+	}
 	names := map[string]bool{}
 	for _, sc := range s.Schedulers {
 		if names[sc.Name()] {
@@ -123,27 +166,126 @@ func (s Sweep) Run() ([]Result, error) {
 		}
 		names[sc.Name()] = true
 	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.Trials {
+		workers = s.Trials
+	}
+	scratch := make([]sweepScratch, max(workers, 1))
 	results := make([]Result, s.Trials)
-	ForEach(s.Workers, s.Trials, func(_, i int) {
-		results[i] = s.evalOne(i)
+	ForEach(workers, s.Trials, func(w, i int) {
+		results[i] = s.evalOne(&scratch[w], i)
 	})
+	for w := range scratch {
+		if scratch[w].be != nil {
+			Engines.Put(scratch[w].be)
+			scratch[w].be = nil
+		}
+	}
 	return results, nil
 }
 
-func (s Sweep) evalOne(i int) Result {
+func (s Sweep) evalOne(sc *sweepScratch, i int) Result {
 	set, err := s.Gen(i)
 	if err != nil {
 		return Result{Index: i, Err: fmt.Errorf("batch: gen(%d): %w", i, err)}
 	}
 	rt := make(map[string]int64, len(s.Schedulers))
-	for _, sc := range s.Schedulers {
-		sch, err := sc.Schedule(set)
+	sc.schs = sc.schs[:0]
+	for _, schd := range s.Schedulers {
+		sch, err := schd.Schedule(set)
 		if err != nil {
-			return Result{Index: i, Err: fmt.Errorf("batch: %s on instance %d: %w", sc.Name(), i, err)}
+			return Result{Index: i, Err: fmt.Errorf("batch: %s on instance %d: %w", schd.Name(), i, err)}
 		}
-		rt[sc.Name()] = model.RT(sch)
+		sc.eng.Attach(sch)
+		rt[schd.Name()] = sc.eng.RT()
+		sc.schs = append(sc.schs, sch)
 	}
-	return Result{Index: i, RT: rt}
+	res := Result{Index: i, RT: rt}
+	if s.Perturbed > 0 {
+		res.JitterRT = s.rescorePerturbed(sc, i)
+	}
+	return res
+}
+
+// rescorePerturbed scores instance i's schedules under s.Perturbed drawn
+// cost vectors in batched chunks, returning per-scheduler means. Each
+// chunk is drawn once and applied to every scheduler (common random
+// numbers), and each draw perturbs every node's send, receive and
+// latency cost independently — nodes in id order, send then recv then
+// latency, mirroring sim.Trials' canonical draw order.
+func (s Sweep) rescorePerturbed(sc *sweepScratch, i int) map[string]float64 {
+	n := len(sc.schs[0].Set.Nodes)
+	set := sc.schs[0].Set
+	if sc.be == nil {
+		sc.be = Engines.Get()
+	}
+	if cap(sc.sums) < len(sc.schs) {
+		sc.sums = make([]float64, len(sc.schs))
+	}
+	sums := sc.sums[:len(sc.schs)]
+	for k := range sums {
+		sums[k] = 0
+	}
+	rng := rand.New(rand.NewSource(s.JitterSeed + int64(i)))
+	for lo := 0; lo < s.Perturbed; lo += sweepLanes {
+		lanes := min(sweepLanes, s.Perturbed-lo)
+		for len(sc.draws) < lanes {
+			sc.draws = append(sc.draws, [3][]int64{})
+		}
+		for b := 0; b < lanes; b++ {
+			d := &sc.draws[b]
+			for c := range d {
+				if cap(d[c]) < n {
+					d[c] = make([]int64, n)
+				}
+				d[c] = d[c][:n]
+			}
+			for v := 0; v < n; v++ {
+				d[0][v] = jitterCost(rng, s.Jitter, set.Nodes[v].Send)
+				d[1][v] = jitterCost(rng, s.Jitter, set.Nodes[v].Recv)
+				d[2][v] = jitterCost(rng, s.Jitter, set.Latency)
+			}
+		}
+		for c := range sc.costs {
+			if cap(sc.costs[c]) < lanes {
+				sc.costs[c] = make([][]int64, lanes)
+			}
+			sc.costs[c] = sc.costs[c][:lanes]
+		}
+		for b := 0; b < lanes; b++ {
+			sc.costs[0][b] = sc.draws[b][0]
+			sc.costs[1][b] = sc.draws[b][1]
+			sc.costs[2][b] = sc.draws[b][2]
+		}
+		for k, sch := range sc.schs {
+			sc.be.Attach(sch, lanes)
+			sc.be.SetLanes(sc.costs[0], sc.costs[1], sc.costs[2])
+			sc.be.EvalAll()
+			for _, v := range sc.be.RTs() {
+				sums[k] += float64(v)
+			}
+		}
+	}
+	out := make(map[string]float64, len(s.Schedulers))
+	for k, schd := range s.Schedulers {
+		out[schd.Name()] = sums[k] / float64(s.Perturbed)
+	}
+	return out
+}
+
+// jitterCost scales base by a uniform factor in [1-amp, 1+amp], clamped
+// to at least one time unit — the same draw sim.UniformJitter makes,
+// reimplemented here because package sim builds on this one.
+func jitterCost(rng *rand.Rand, amp float64, base int64) int64 {
+	f := 1 - amp + 2*amp*rng.Float64()
+	v := int64(float64(base) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // Aggregate summarizes one scheduler's completion times across the sweep,
@@ -156,6 +298,22 @@ func Aggregate(results []Result, scheduler string) stats.Summary {
 		}
 		if v, ok := r.RT[scheduler]; ok {
 			xs = append(xs, float64(v))
+		}
+	}
+	return stats.Summarize(xs)
+}
+
+// AggregateJitter summarizes one scheduler's mean perturbed completion
+// times across the sweep, skipping failed trials. The summary is empty
+// unless the sweep ran with Perturbed > 0.
+func AggregateJitter(results []Result, scheduler string) stats.Summary {
+	var xs []float64
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if v, ok := r.JitterRT[scheduler]; ok {
+			xs = append(xs, v)
 		}
 	}
 	return stats.Summarize(xs)

@@ -1,0 +1,117 @@
+package batch
+
+import (
+	"expvar"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// EnginePool is a free list of BatchEngines bounded by retained bytes
+// rather than entry count — batch engines attached to large instances
+// with wide lane counts hold tens of megabytes of flat rows, so an
+// unbounded sync.Pool-style cache would quietly pin the high-water mark
+// of the largest sweep ever run. Put discards engines that would push the
+// pooled footprint past MaxBytes, so idle retention is capped while the
+// steady-state hot path (a sweep's workers cycling similarly-sized
+// engines) still reuses warm buffers.
+//
+// The zero value is a valid pool that retains nothing; use NewEnginePool
+// for a bounded cache. All methods are safe for concurrent use.
+type EnginePool struct {
+	// MaxBytes caps the total MemBytes of idle engines retained across
+	// Put calls. 0 retains nothing.
+	MaxBytes int64
+
+	mu    sync.Mutex
+	free  []*model.BatchEngine
+	bytes int64 // sum of MemBytes over free
+
+	hits, misses, discards int64
+}
+
+// NewEnginePool returns a pool retaining at most maxBytes of idle engine
+// buffers.
+func NewEnginePool(maxBytes int64) *EnginePool {
+	return &EnginePool{MaxBytes: maxBytes}
+}
+
+// Get returns an idle engine (most recently returned first, for warm
+// buffers) or a fresh zero-value engine when the pool is empty.
+func (p *EnginePool) Get() *model.BatchEngine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.bytes -= e.MemBytes()
+		p.hits++
+		return e
+	}
+	p.misses++
+	return new(model.BatchEngine)
+}
+
+// Put returns an engine to the pool, discarding it instead when its
+// buffers would push the retained footprint past MaxBytes. Callers must
+// not use e after Put.
+func (p *EnginePool) Put(e *model.BatchEngine) {
+	if e == nil {
+		return
+	}
+	sz := e.MemBytes()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.MaxBytes <= 0 || p.bytes+sz > p.MaxBytes {
+		p.discards++
+		return
+	}
+	p.free = append(p.free, e)
+	p.bytes += sz
+}
+
+// PooledBytes reports the retained footprint of idle engines.
+func (p *EnginePool) PooledBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Stats reports lifetime counters: Get calls served from the pool (hits)
+// or freshly allocated (misses), and Put calls dropped by the byte budget
+// (discards).
+func (p *EnginePool) Stats() (hits, misses, discards int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.discards
+}
+
+// defaultEnginePoolBytes bounds the process-wide shared pool: enough for
+// a few dozen sweep workers' engines at production instance sizes, small
+// next to the table store's own budgets.
+const defaultEnginePoolBytes = 64 << 20
+
+// Engines is the process-wide shared pool used by the sweep executor and
+// sim.Trials. Its gauges are published under expvar keys
+// batch.engines_pooled_bytes, batch.engines_pool_hits,
+// batch.engines_pool_misses and batch.engines_pool_discards.
+var Engines = NewEnginePool(defaultEnginePoolBytes)
+
+func init() {
+	expvar.Publish("batch.engines_pooled_bytes", expvar.Func(func() any {
+		return Engines.PooledBytes()
+	}))
+	expvar.Publish("batch.engines_pool_hits", expvar.Func(func() any {
+		h, _, _ := Engines.Stats()
+		return h
+	}))
+	expvar.Publish("batch.engines_pool_misses", expvar.Func(func() any {
+		_, m, _ := Engines.Stats()
+		return m
+	}))
+	expvar.Publish("batch.engines_pool_discards", expvar.Func(func() any {
+		_, _, d := Engines.Stats()
+		return d
+	}))
+}

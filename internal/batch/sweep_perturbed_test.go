@@ -1,0 +1,158 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func perturbedSweep(workers int) Sweep {
+	s := testSweep(workers)
+	s.Perturbed = 100
+	s.Jitter = 0.3
+	s.JitterSeed = 77
+	return s
+}
+
+// TestPerturbedSweepDeterministicAcrossWorkers pins the robustness axis'
+// contract: per-instance seeding makes JitterRT bit-identical whatever
+// the pool size.
+func TestPerturbedSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := perturbedSweep(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 7} {
+		par, err := perturbedSweep(workers).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if len(par[i].JitterRT) != len(serial[i].JitterRT) {
+				t.Fatalf("workers=%d trial %d: JitterRT sizes differ", workers, i)
+			}
+			for name, v := range serial[i].JitterRT {
+				if pv := par[i].JitterRT[name]; pv != v {
+					t.Fatalf("workers=%d trial %d %s: JitterRT %v, serial %v", workers, i, name, pv, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPerturbedSweepMeansAreSane checks every mean perturbed completion
+// time sits inside the jitter envelope of its nominal score: with
+// amplitude J every drawn cost is within [1-J, 1+J] of nominal (plus the
+// >=1 clamp), so any schedule's perturbed RT — and hence the mean — is
+// too.
+func TestPerturbedSweepMeansAreSane(t *testing.T) {
+	results, err := perturbedSweep(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if len(r.JitterRT) != len(r.RT) {
+			t.Fatalf("trial %d: %d jitter entries for %d schedulers", r.Index, len(r.JitterRT), len(r.RT))
+		}
+		for name, nominal := range r.RT {
+			mean, ok := r.JitterRT[name]
+			if !ok {
+				t.Fatalf("trial %d: no JitterRT for %s", r.Index, name)
+			}
+			// Slack absorbs per-cost integer truncation (up to one unit
+			// per hop) and the >=1 clamp on tiny bases.
+			lo, hi := 0.7*float64(nominal)-64, 1.31*float64(nominal)+64
+			if mean < lo || mean > hi {
+				t.Fatalf("trial %d %s: mean perturbed RT %v outside [%v, %v] around nominal %d",
+					r.Index, name, mean, lo, hi, nominal)
+			}
+			if math.IsNaN(mean) {
+				t.Fatalf("trial %d %s: NaN mean", r.Index, name)
+			}
+		}
+	}
+}
+
+// TestSweepWithoutPerturbationHasNoJitterRT checks the axis is opt-in.
+func TestSweepWithoutPerturbationHasNoJitterRT(t *testing.T) {
+	results, err := testSweep(2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.JitterRT != nil {
+			t.Fatalf("trial %d: unexpected JitterRT %v", r.Index, r.JitterRT)
+		}
+	}
+}
+
+// TestPerturbedSweepValidation checks amplitude and draw-count bounds.
+func TestPerturbedSweepValidation(t *testing.T) {
+	s := testSweep(1)
+	s.Perturbed = -1
+	if _, err := s.Run(); err == nil {
+		t.Error("negative perturbed count accepted")
+	}
+	s = testSweep(1)
+	s.Perturbed = 10
+	s.Jitter = 1.0
+	if _, err := s.Run(); err == nil {
+		t.Error("jitter amplitude 1.0 accepted")
+	}
+	s = testSweep(1)
+	s.Perturbed = 10
+	s.Jitter = -0.1
+	if _, err := s.Run(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+// TestEnginePoolBudget exercises the byte-bounded free list directly.
+func TestEnginePoolBudget(t *testing.T) {
+	p := NewEnginePool(0)
+	e := p.Get()
+	if _, misses, _ := p.Stats(); misses != 1 {
+		t.Fatal("fresh pool should miss")
+	}
+	p.Put(e)
+	if _, _, discards := p.Stats(); discards != 1 {
+		t.Fatal("zero-budget pool should discard")
+	}
+	if p.PooledBytes() != 0 {
+		t.Fatal("zero-budget pool retained bytes")
+	}
+
+	p = NewEnginePool(1 << 20)
+	e = p.Get()
+	set, err := model.NewMulticastSet(1,
+		model.Node{Send: 1, Recv: 1}, model.Node{Send: 2, Recv: 2}, model.Node{Send: 3, Recv: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := model.NewSchedule(set)
+	sch.MustAddChild(0, 1)
+	sch.MustAddChild(1, 2)
+	e.Attach(sch, 8)
+	sz := e.MemBytes()
+	if sz <= 0 {
+		t.Fatal("attached engine reports no footprint")
+	}
+	p.Put(e)
+	if got := p.PooledBytes(); got != sz {
+		t.Fatalf("pooled bytes %d, want %d", got, sz)
+	}
+	if got := p.Get(); got != e {
+		t.Fatal("pool did not return the retained engine")
+	}
+	if p.PooledBytes() != 0 {
+		t.Fatal("bytes not released on Get")
+	}
+	hits, _, _ := p.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}

@@ -16,6 +16,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -50,6 +51,41 @@ func forTrials[T any](n int, run func(t int) (T, error)) ([]T, error) {
 		}
 	}
 	return slots, nil
+}
+
+// forTrialsEng is forTrials with a per-worker flat scoring engine
+// threaded into run: trial loops that only need a schedule's completion
+// time score it on the worker's engine (see engRT) instead of paying
+// model.RT's fresh Times allocation per call. The engine is scratch owned
+// by the calling worker — results and report ordering stay byte-identical
+// to the sequential run.
+func forTrialsEng[T any](n int, run func(t int, eng *model.Engine) (T, error)) ([]T, error) {
+	slots := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	engs := make([]model.Engine, workers)
+	batch.ForEach(workers, n, func(w, t int) {
+		slots[t], errs[t] = run(t, &engs[w])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return slots, nil
+}
+
+// engRT scores a schedule on a reusable flat engine: the allocation-free
+// equivalent of model.RT for trial loops.
+func engRT(eng *model.Engine, sch *model.Schedule) int64 {
+	eng.Attach(sch)
+	return eng.RT()
 }
 
 // Figure1Set returns the exact instance of the paper's Figure 1: a slow
@@ -258,7 +294,7 @@ func E4ApproxRatio(trialsPerBand int) string {
 			ratio, ratioRev, boundRel float64
 			violated                  bool
 		}
-		results, err := forTrials(trialsPerBand, func(t int) (trial, error) {
+		results, err := forTrialsEng(trialsPerBand, func(t int, eng *model.Engine) (trial, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 3 + t%6, K: 2 + t%2, RatioMin: bd.min, RatioMax: bd.max,
 				MaxSend: 24, Latency: 3, Seed: int64(t)*7919 + 13,
@@ -272,7 +308,7 @@ func E4ApproxRatio(trialsPerBand int) string {
 			}
 			g := mustSchedule(core.Greedy{}, set)
 			gr := mustSchedule(core.Greedy{Reversal: true}, set)
-			rt, rtRev := model.RT(g), model.RT(gr)
+			rt, rtRev := engRT(eng, g), engRT(eng, gr)
 			p := bounds.ParamsOf(set)
 			return trial{
 				ok:       true,
@@ -402,7 +438,7 @@ func E6LeafReversal(trials int) string {
 	}
 	tb := stats.NewTable("cluster mix", "mean improv %", "max improv %", "improved/total")
 	for _, m := range mixes {
-		improvements, err := forTrials(trials, func(t int) (float64, error) {
+		improvements, err := forTrialsEng(trials, func(t int, eng *model.Engine) (float64, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 5 + t%40, K: m.k, Weights: m.weights, MaxSend: 32, Latency: 4,
 				RatioMin: 1.05, RatioMax: 1.85, Seed: int64(t) * 31,
@@ -410,8 +446,8 @@ func E6LeafReversal(trials int) string {
 			if err != nil {
 				return 0, err
 			}
-			before := model.RT(mustSchedule(core.Greedy{}, set))
-			after := model.RT(mustSchedule(core.Greedy{Reversal: true}, set))
+			before := engRT(eng, mustSchedule(core.Greedy{}, set))
+			after := engRT(eng, mustSchedule(core.Greedy{Reversal: true}, set))
 			return 100 * float64(before-after) / float64(before), nil
 		})
 		if err != nil {
@@ -456,7 +492,7 @@ func E7Baselines(trials int) string {
 		// One slot of per-scheduler RTs per trial; the sums are then
 		// accumulated in trial order so the floating-point result is
 		// independent of worker scheduling.
-		perTrial, err := forTrials(trials, func(t int) (map[string]float64, error) {
+		perTrial, err := forTrialsEng(trials, func(t int, eng *model.Engine) (map[string]float64, error) {
 			cfg := m.cfg
 			cfg.Seed = int64(t)*101 + 7
 			set, err := cluster.Generate(cfg)
@@ -469,7 +505,7 @@ func E7Baselines(trials int) string {
 				if err != nil {
 					return nil, fmt.Errorf("%s: %v", s.Name(), err)
 				}
-				rts[s.Name()] = float64(model.RT(sch))
+				rts[s.Name()] = float64(engRT(eng, sch))
 			}
 			return rts, nil
 		})
@@ -618,15 +654,15 @@ func E10Sensitivity(trials int) string {
 		type trio struct {
 			g, bi, st float64
 		}
-		slots, err := forTrials(trials, func(t int) (trio, error) {
+		slots, err := forTrialsEng(trials, func(t int, eng *model.Engine) (trio, error) {
 			set, err := cluster.Generate(cluster.GenConfig{N: 48, K: 3, Latency: L, MaxSend: 24, Seed: int64(t) + 11})
 			if err != nil {
 				return trio{}, err
 			}
 			return trio{
-				g:  float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set))),
-				bi: float64(model.RT(mustSchedule(baselines.Binomial{}, set))),
-				st: float64(model.RT(mustSchedule(baselines.Star{}, set))),
+				g:  float64(engRT(eng, mustSchedule(core.Greedy{Reversal: true}, set))),
+				bi: float64(engRT(eng, mustSchedule(baselines.Binomial{}, set))),
+				st: float64(engRT(eng, mustSchedule(baselines.Star{}, set))),
 			}, nil
 		})
 		if err != nil {
@@ -652,7 +688,7 @@ func E10Sensitivity(trials int) string {
 		type pair struct {
 			g, f float64
 		}
-		slots, err := forTrials(trials, func(t int) (pair, error) {
+		slots, err := forTrialsEng(trials, func(t int, eng *model.Engine) (pair, error) {
 			set, err := cluster.Generate(cluster.GenConfig{
 				N: 48, K: 2, Weights: []float64{1 - frac + 1e-9, frac + 1e-9},
 				RatioMin: 1.4, RatioMax: 1.85, MaxSend: 32, Latency: 5, Seed: int64(t) + 37,
@@ -661,8 +697,8 @@ func E10Sensitivity(trials int) string {
 				return pair{}, err
 			}
 			return pair{
-				g: float64(model.RT(mustSchedule(core.Greedy{Reversal: true}, set))),
-				f: float64(model.RT(mustSchedule(baselines.FNF{}, set))),
+				g: float64(engRT(eng, mustSchedule(core.Greedy{Reversal: true}, set))),
+				f: float64(engRT(eng, mustSchedule(baselines.FNF{}, set))),
 			}, nil
 		})
 		if err != nil {

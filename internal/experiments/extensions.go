@@ -48,7 +48,7 @@ func e11Quality(trials int) string {
 		ratio []float64
 		hit   []bool
 	}
-	results, err := forTrials(trials, func(t int) (trialRes, error) {
+	results, err := forTrialsEng(trials, func(t int, eng *model.Engine) (trialRes, error) {
 		set, err := genForOracle(t)
 		if err != nil {
 			return trialRes{}, err
@@ -63,7 +63,7 @@ func e11Quality(trials int) string {
 			if err != nil {
 				return trialRes{}, fmt.Errorf("%s: %v", s.Name(), err)
 			}
-			rt := model.RT(sch)
+			rt := engRT(eng, sch)
 			r.ratio[i] = float64(rt) / float64(opt)
 			r.hit[i] = rt == opt
 		}
@@ -142,6 +142,7 @@ func genForOracle(t int) (*model.MulticastSet, error) {
 // justified by the paper's own Lemma 2 + Corollary 1).
 func E4LargeN() string {
 	tb := stats.NewTable("n", "k", "greedy RT/LB", "+leafrev RT/LB", "LB source")
+	var eng model.Engine
 	for _, n := range []int{1000, 10000, 100000} {
 		for _, k := range []int{2, 4} {
 			set, err := cluster.Generate(cluster.GenConfig{
@@ -159,7 +160,7 @@ func E4LargeN() string {
 			}
 			g := mustSchedule(core.Greedy{}, set)
 			gr := mustSchedule(core.Greedy{Reversal: true}, set)
-			tb.AddRow(n, k, float64(model.RT(g))/float64(lb), float64(model.RT(gr))/float64(lb), which)
+			tb.AddRow(n, k, float64(engRT(&eng, g))/float64(lb), float64(engRT(&eng, gr))/float64(lb), which)
 		}
 	}
 	return "E4-large: greedy vs provable lower bounds beyond the DP's reach\n\n" + tb.String() +
@@ -249,7 +250,7 @@ func E12NodeModel(trials int) string {
 		type pair struct {
 			nm, rs float64
 		}
-		slots, err := forTrials(trials, func(t int) (pair, error) {
+		slots, err := forTrialsEng(trials, func(t int, eng *model.Engine) (pair, error) {
 			set, err := genRatioSet(40, 3, cfg.ratioMin, cfg.ratioMax, int64(t)*31+7)
 			if err != nil {
 				return pair{}, err
@@ -267,7 +268,7 @@ func E12NodeModel(trials int) string {
 			if err != nil {
 				return pair{}, err
 			}
-			return pair{nm: float64(model.RT(sch)), rs: float64(model.RT(g))}, nil
+			return pair{nm: float64(engRT(eng, sch)), rs: float64(engRT(eng, g))}, nil
 		})
 		if err != nil {
 			return fmt.Sprintf("E12: %v", err)

@@ -55,18 +55,10 @@ func RelocateMove(leaf, target NodeID) Move {
 // schedule, Attach re-syncs. The zero value is ready for use. An Engine
 // is not safe for concurrent use.
 type Engine struct {
+	treeShape // flat structure, indexed by position (BFS layer order)
+
 	set *MulticastSet
 	sch *Schedule
-	m   int // attached node count (= len(order))
-
-	// Flat structure, indexed by position (BFS layer order).
-	order        []NodeID // position -> occupying node
-	pos          []int32  // node -> position, -1 if unattached
-	parentPos    []int32  // position -> parent position, -1 for the root
-	rank         []int64  // position -> 1-based child rank, 0 for the root
-	kidLo, kidHi []int32  // position -> children span [kidLo,kidHi) in order
-	layerOf      []int32  // position -> layer (root = 0)
-	layerOff     []int32  // layer l occupies positions [layerOff[l], layerOff[l+1])
 
 	// Structure-of-arrays occupant overheads and times, by position.
 	sendOf, recvOf []int64
@@ -100,16 +92,7 @@ func (e *Engine) Attach(sch *Schedule) {
 	n := len(set.Nodes)
 	e.set, e.sch = set, sch
 
-	e.pos = resizeInt32(e.pos, n)
-	for i := range e.pos {
-		e.pos[i] = -1
-	}
-	e.order = resizeNodeID(e.order, n)
-	e.parentPos = resizeInt32(e.parentPos, n)
-	e.rank = resizeInt64(e.rank, n)
-	e.kidLo = resizeInt32(e.kidLo, n)
-	e.kidHi = resizeInt32(e.kidHi, n)
-	e.layerOf = resizeInt32(e.layerOf, n)
+	e.treeShape.build(sch)
 	e.sendOf = resizeInt64(e.sendOf, n)
 	e.recvOf = resizeInt64(e.recvOf, n)
 	e.d = resizeInt64(e.d, n)
@@ -121,67 +104,32 @@ func (e *Engine) Attach(sch *Schedule) {
 	}
 	e.stamp = e.stamp[:n]
 
-	// BFS flattening: children are appended in parent-position order, so
-	// each parent's children are contiguous and each layer is a single
-	// position range.
-	e.order[0] = 0
-	e.pos[0] = 0
-	e.parentPos[0] = -1
-	e.rank[0] = 0
-	e.layerOf[0] = 0
-	write := 1
-	for i := 0; i < write; i++ {
-		e.kidLo[i] = int32(write)
-		for rk, w := range sch.children[e.order[i]] {
-			e.order[write] = w
-			e.pos[w] = int32(write)
-			e.parentPos[write] = int32(i)
-			e.rank[write] = int64(rk + 1)
-			e.layerOf[write] = e.layerOf[i] + 1
-			write++
-		}
-		e.kidHi[i] = int32(write)
-	}
-	e.m = write
-
-	layers := int(e.layerOf[write-1]) + 1
-	e.layerOff = resizeInt32(e.layerOff, layers+1)
-	e.layerOff[0] = 0
-	for i := 0; i < write; i++ {
-		e.layerOff[e.layerOf[i]+1] = int32(i + 1)
-	}
-
 	// Occupant overheads as flat arrays (the SoA split of the old
 	// array-of-structs Nodes access in the inner loops).
-	for i := 0; i < write; i++ {
+	for i := 0; i < e.m; i++ {
 		nd := &set.Nodes[e.order[i]]
 		e.sendOf[i] = nd.Send
 		e.recvOf[i] = nd.Recv
 	}
 
 	e.refreshTimes()
-	e.refreshAggregates(layers)
+	e.refreshAggregates(e.layers())
 }
 
 // refreshTimes recomputes the flat delivery/reception arrays in position
 // order (parents precede children, so one forward pass suffices). The
-// per-parent inner loop is a pure strength-reduced scan over contiguous
-// children: no pointer chasing, no per-node dispatch.
+// per-parent work is one kernChildTimes call: a bounds-check-free
+// strength-reduced scan over contiguous children — no pointer chasing, no
+// per-node dispatch.
 func (e *Engine) refreshTimes() {
 	L := e.set.Latency
 	e.d[0], e.r[0] = 0, 0
 	for i := 0; i < e.m; i++ {
-		kl, kh := e.kidLo[i], e.kidHi[i]
+		kl, kh := int(e.kidLo[i]), int(e.kidHi[i])
 		if kl == kh {
 			continue
 		}
-		sv := e.sendOf[i]
-		dd := e.r[i] + L
-		for j := kl; j < kh; j++ {
-			dd += sv
-			e.d[j] = dd
-			e.r[j] = dd + e.recvOf[j]
-		}
+		kernChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.r[i]+L, e.sendOf[i])
 	}
 }
 
@@ -282,17 +230,11 @@ func (e *Engine) CommitSwap(a, b NodeID) {
 				continue
 			}
 			for p := lo[si]; p < hi[si]; p++ {
-				kl, kh := e.kidLo[p], e.kidHi[p]
+				kl, kh := int(e.kidLo[p]), int(e.kidHi[p])
 				if kl == kh {
 					continue
 				}
-				sv := e.sendOf[p]
-				dd := e.r[p] + L
-				for j := kl; j < kh; j++ {
-					dd += sv
-					e.d[j] = dd
-					e.r[j] = dd + e.recvOf[j]
-				}
+				kernChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.r[p]+L, e.sendOf[p])
 			}
 			nlo[nns], nhi[nns] = cs, ce
 			nns++
@@ -310,20 +252,13 @@ func (e *Engine) CommitSwap(a, b NodeID) {
 }
 
 // refreshLayerAggregates rebuilds one layer's running maxima from the
-// current time arrays.
+// current time arrays: one forward and one backward kernel pass over the
+// layer's contiguous position range.
 func (e *Engine) refreshLayerAggregates(l int) {
 	s, t := int(e.layerOff[l]), int(e.layerOff[l+1])
-	runD, runR := int64(0), int64(0)
-	for j := s; j < t; j++ {
-		e.preD[j], e.preR[j] = runD, runR
-		runD, runR = max(runD, e.d[j]), max(runR, e.r[j])
-	}
-	e.layMaxD[l], e.layMaxR[l] = runD, runR
-	runD, runR = 0, 0
-	for j := t - 1; j >= s; j-- {
-		runD, runR = max(runD, e.d[j]), max(runR, e.r[j])
-		e.sufD[j], e.sufR[j] = runD, runR
-	}
+	d, r := e.d[s:t], e.r[s:t]
+	e.layMaxD[l], e.layMaxR[l] = kernPrefixMax2(e.preD[s:t], e.preR[s:t], d, r)
+	kernSuffixMax2(e.sufD[s:t], e.sufR[s:t], d, r)
 }
 
 // DT returns the delivery completion time of the attached schedule.
@@ -405,6 +340,14 @@ func (e *Engine) nextGen() uint32 {
 // tree shape is invariant under a swap — only the occupants of the two
 // positions change — so the affected positions are exactly the two
 // subtrees (one, when nested), walked as contiguous spans per layer.
+//
+// Instead of threading occupant overrides through the walk (a per-child
+// branch on node metadata in the hottest loop), the post-swap overheads
+// are staged directly into the flat sendOf/recvOf arrays and swapped back
+// after the walk: the walk itself is then identical to the no-override
+// case and every inner loop stays branch-free. The engine is documented
+// as not safe for concurrent use, so the transient staging is invisible
+// to callers.
 func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
 	if a == b {
 		return e.dt, e.rt
@@ -413,12 +356,8 @@ func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
 	if q1 < 0 || q2 < 0 {
 		panic(fmt.Sprintf("model: Eval: swap of unattached node (%d, %d)", a, b))
 	}
-	// After the swap, q1 (a's position) is occupied by b and vice versa.
-	s1, rv1 := e.sendOf[q2], e.recvOf[q2]
-	s2, rv2 := e.sendOf[q1], e.recvOf[q1]
 	if e.layerOf[q1] > e.layerOf[q2] {
 		q1, q2 = q2, q1
-		s1, rv1, s2, rv2 = s2, rv2, s1, rv1
 	}
 	// Nested iff q1 is an ancestor of q2.
 	p := q2
@@ -427,20 +366,29 @@ func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
 	}
 	nested := p == q1
 
+	// Stage the post-swap occupant overheads in place.
+	e.sendOf[q1], e.sendOf[q2] = e.sendOf[q2], e.sendOf[q1]
+	e.recvOf[q1], e.recvOf[q2] = e.recvOf[q2], e.recvOf[q1]
+
 	gen := e.nextGen()
 	movD := e.d[q1] // q1's delivery is position-determined: unchanged
-	e.newR[q1] = e.d[q1] + rv1
+	e.newR[q1] = e.d[q1] + e.recvOf[q1]
 	e.stamp[q1] = gen
 	movR := e.newR[q1]
 	pend := int32(-1)
 	if !nested {
 		pend = q2
-		e.newR[q2] = e.d[q2] + rv2
+		e.newR[q2] = e.d[q2] + e.recvOf[q2]
 		e.stamp[q2] = gen
 		movD = max(movD, e.d[q2])
 		movR = max(movR, e.newR[q2])
 	}
-	return e.walkSpans(q1, pend, q1, q2, s1, s2, rv1, rv2, gen, movD, movR)
+	dt, rt := e.walkSpans(q1, pend, gen, movD, movR)
+
+	// Unstage: the engine must be left exactly as attached.
+	e.sendOf[q1], e.sendOf[q2] = e.sendOf[q2], e.sendOf[q1]
+	e.recvOf[q1], e.recvOf[q2] = e.recvOf[q2], e.recvOf[q1]
+	return dt, rt
 }
 
 // evalRelocate scores detaching leaf and appending it under target. The
@@ -463,19 +411,18 @@ func (e *Engine) evalRelocate(leaf, target NodeID) (int64, int64) {
 	gen := e.nextGen()
 	// Seed the later siblings with their rank-shifted times; the vacated
 	// leaf position contributes nothing (and is childless, so the walk
-	// skips it naturally).
+	// skips it naturally). Each sibling moves one rank earlier, so its
+	// delivery is the predecessor's old delivery: a strength-reduced
+	// kernel scan starting from the vacated rank.
 	movD, movR := int64(0), int64(0)
 	L := e.set.Latency
 	rp, sv := e.r[po], e.sendOf[po]
-	for j := pl + 1; j < e.kidHi[po]; j++ {
-		dd := rp + (e.rank[j]-1)*sv + L
-		rj := dd + e.recvOf[j]
-		e.newR[j] = rj
-		e.stamp[j] = gen
-		movD = max(movD, dd)
-		movR = max(movR, rj)
+	sibLo, sibHi := int(pl)+1, int(e.kidHi[po])
+	if sibLo < sibHi {
+		base := rp + (e.rank[pl]-1)*sv + L
+		movD, movR = kernChildCand(e.newR[sibLo:sibHi], e.recvOf[sibLo:sibHi], e.stamp[sibLo:sibHi], gen, base, sv, movD, movR)
 	}
-	dt, rt := e.walkSpansBounds(pl, e.kidHi[po], -1, -1, -1, 0, 0, 0, 0, gen, movD, movR)
+	dt, rt := e.walkSpansBounds(pl, e.kidHi[po], -1, gen, movD, movR)
 	// The leaf's contribution at its new position: appended after
 	// target's current children (one fewer if the target is the old
 	// parent itself, which just lost the leaf).
@@ -493,17 +440,19 @@ func (e *Engine) evalRelocate(leaf, target NodeID) (int64, int64) {
 }
 
 // walkSpans is walkSpansBounds for a single-position top span.
-func (e *Engine) walkSpans(top, pend, q1, q2 int32, s1, s2, rv1, rv2 int64, gen uint32, movD, movR int64) (int64, int64) {
-	return e.walkSpansBounds(top, top+1, pend, q1, q2, s1, s2, rv1, rv2, gen, movD, movR)
+func (e *Engine) walkSpans(top, pend int32, gen uint32, movD, movR int64) (int64, int64) {
+	return e.walkSpansBounds(top, top+1, pend, gen, movD, movR)
 }
 
 // walkSpansBounds re-walks the descendants of the top span [lo0, hi0)
 // (plus, for disjoint swaps, the pending second root) layer by layer,
 // computing candidate times for every affected position into the stamped
 // scratch, and combines the running maxima of the walked values with the
-// layer aggregates of the untouched complement. q1/q2 carry the swap's
-// occupant overrides (-1 when absent). Returns the candidate (DT, RT).
-func (e *Engine) walkSpansBounds(lo0, hi0, pend, q1, q2 int32, s1, s2, rv1, rv2 int64, gen uint32, movD, movR int64) (int64, int64) {
+// layer aggregates of the untouched complement. Candidate occupant
+// overheads must already be staged in sendOf/recvOf (see evalSwap), so
+// the per-layer expansion is a pure kernel scan with no per-child
+// branches. Returns the candidate (DT, RT).
+func (e *Engine) walkSpansBounds(lo0, hi0, pend int32, gen uint32, movD, movR int64) (int64, int64) {
 	L := e.set.Latency
 	l := int(e.layerOf[lo0])
 	complD, complR := e.layPreD[l], e.layPreR[l]
@@ -527,11 +476,8 @@ func (e *Engine) walkSpansBounds(lo0, hi0, pend, q1, q2 int32, s1, s2, rv1, rv2 
 				complD = max(complD, e.preD[lo[0]])
 				complR = max(complR, e.preR[lo[0]])
 			}
-			if ns == 2 {
-				for j := hi[0]; j < lo[1]; j++ {
-					complD = max(complD, e.d[j])
-					complR = max(complR, e.r[j])
-				}
+			if ns == 2 && hi[0] < lo[1] {
+				complD, complR = kernMax2(e.d[hi[0]:lo[1]], e.r[hi[0]:lo[1]], complD, complR)
 			}
 			if last := hi[ns-1]; last < t {
 				complD = max(complD, e.sufD[last])
@@ -548,31 +494,11 @@ func (e *Engine) walkSpansBounds(lo0, hi0, pend, q1, q2 int32, s1, s2, rv1, rv2 
 				continue
 			}
 			for p := lo[si]; p < hi[si]; p++ {
-				kl, kh := e.kidLo[p], e.kidHi[p]
+				kl, kh := int(e.kidLo[p]), int(e.kidHi[p])
 				if kl == kh {
 					continue
 				}
-				sv := e.sendOf[p]
-				if p == q1 {
-					sv = s1
-				} else if p == q2 {
-					sv = s2
-				}
-				dd := e.newR[p] + L
-				for j := kl; j < kh; j++ {
-					dd += sv
-					rec := e.recvOf[j]
-					if j == q2 {
-						rec = rv2
-					} else if j == q1 {
-						rec = rv1
-					}
-					rj := dd + rec
-					e.newR[j] = rj
-					e.stamp[j] = gen
-					movD = max(movD, dd)
-					movR = max(movR, rj)
-				}
+				movD, movR = kernChildCand(e.newR[kl:kh], e.recvOf[kl:kh], e.stamp[kl:kh], gen, e.newR[p]+L, e.sendOf[p], movD, movR)
 			}
 			nlo[nns], nhi[nns] = cs, ce
 			nns++

@@ -1,0 +1,122 @@
+package model
+
+// The engine's bandwidth-bound inner loops, extracted so they compile to
+// straight-line streaming code: every kernel reslices its rows to a
+// common length before the loop, which lets the compiler's prove pass
+// eliminate all bounds checks (guarded in CI by building this package
+// with -gcflags=-d=ssa/check_bce and diffing the kernel hits against a
+// committed allowlist), and keeps the loop bodies free of per-iteration
+// branches on node metadata — the running maxima go through the max
+// builtin, which lowers to conditional moves on amd64/arm64 instead of
+// branches. The straightforward scalar forms are kept in
+// kernels_ref_test.go as the parity oracle for randomized cross-checks;
+// the engine-level oracle remains model.ComputeTimes (engine parity
+// suite + FuzzRecomputeFrom/FuzzBatchEval).
+
+// kernChildTimes fills one parent's contiguous children span with
+// delivery and reception times by strength-reduced accumulation:
+// d[i] = base + (i+1)*sv, r[i] = d[i] + rc[i].
+func kernChildTimes(d, r, rc []int64, base, sv int64) {
+	r = r[:len(d)]
+	rc = rc[:len(d)]
+	dd := base
+	for i := range d {
+		dd += sv
+		d[i] = dd
+		r[i] = dd + rc[i]
+	}
+}
+
+// kernChildCand computes one parent's candidate child receptions into the
+// stamped scratch row nr and returns the running maxima of the walked
+// delivery and reception values. The delivery times themselves are not
+// stored: only the receptions propagate to deeper layers.
+func kernChildCand(nr, rc []int64, st []uint32, gen uint32, base, sv, movD, movR int64) (int64, int64) {
+	rc = rc[:len(nr)]
+	st = st[:len(nr)]
+	dd := base
+	for i := range nr {
+		dd += sv
+		rj := dd + rc[i]
+		nr[i] = rj
+		st[i] = gen
+		movD = max(movD, dd)
+		movR = max(movR, rj)
+	}
+	return movD, movR
+}
+
+// kernPrefixMax2 writes the exclusive prefix running maxima of rows a and
+// b into preA and preB and returns the full maxima of both rows.
+func kernPrefixMax2(preA, preB, a, b []int64) (mA, mB int64) {
+	preB = preB[:len(preA)]
+	a = a[:len(preA)]
+	b = b[:len(preA)]
+	runA, runB := int64(0), int64(0)
+	for i := range preA {
+		preA[i] = runA
+		preB[i] = runB
+		runA = max(runA, a[i])
+		runB = max(runB, b[i])
+	}
+	return runA, runB
+}
+
+// kernSuffixMax2 writes the inclusive suffix running maxima of rows a and
+// b into sufA and sufB.
+func kernSuffixMax2(sufA, sufB, a, b []int64) {
+	sufB = sufB[:len(sufA)]
+	a = a[:len(sufA)]
+	b = b[:len(sufA)]
+	runA, runB := int64(0), int64(0)
+	for i := len(sufA) - 1; i >= 0; i-- {
+		runA = max(runA, a[i])
+		runB = max(runB, b[i])
+		sufA[i] = runA
+		sufB[i] = runB
+	}
+}
+
+// kernMax2 folds the maxima of two equal-length rows into the
+// accumulators (the complement gap scan and the completion rescans).
+func kernMax2(a, b []int64, mA, mB int64) (int64, int64) {
+	b = b[:len(a)]
+	for i := range a {
+		mA = max(mA, a[i])
+		mB = max(mB, b[i])
+	}
+	return mA, mB
+}
+
+// kernLaneStep advances one child position across every lane of a batch:
+// per lane, the parent's send accumulator steps by its send overhead, the
+// child's delivery adds the lane latency and its reception the lane
+// receive overhead, and the per-lane completion maxima fold in the new
+// values — so one pass over the batch rows both times the schedules and
+// maintains the objective, with no second rescan of d and r.
+func kernLaneStep(acc, sv, lat, rc, d, r, maxD, maxR []int64) {
+	sv = sv[:len(acc)]
+	lat = lat[:len(acc)]
+	rc = rc[:len(acc)]
+	d = d[:len(acc)]
+	r = r[:len(acc)]
+	maxD = maxD[:len(acc)]
+	maxR = maxR[:len(acc)]
+	for b := range acc {
+		a := acc[b] + sv[b]
+		acc[b] = a
+		dv := a + lat[b]
+		d[b] = dv
+		rv := dv + rc[b]
+		r[b] = rv
+		maxD[b] = max(maxD[b], dv)
+		maxR[b] = max(maxR[b], rv)
+	}
+}
+
+// kernFill writes v into every element of row.
+func kernFill(row []int64, v int64) {
+	for i := range row {
+		row[i] = v
+	}
+}

@@ -1,0 +1,68 @@
+package model
+
+// treeShape is the flat BFS mirror of a schedule tree shared by the
+// single-schedule Engine and the schedule-major BatchEngine: positions in
+// BFS layer order with every parent's children contiguous, so any subtree
+// is at most two contiguous spans per layer and each layer is one position
+// range. The shape carries no times or overheads — those live in the
+// embedding engine, laid out to suit its access pattern (one value per
+// position for Engine, one row of lanes per position for BatchEngine).
+type treeShape struct {
+	m int // attached node count (= len(order))
+
+	order        []NodeID // position -> occupying node
+	pos          []int32  // node -> position, -1 if unattached
+	parentPos    []int32  // position -> parent position, -1 for the root
+	rank         []int64  // position -> 1-based child rank, 0 for the root
+	kidLo, kidHi []int32  // position -> children span [kidLo,kidHi) in order
+	layerOf      []int32  // position -> layer (root = 0)
+	layerOff     []int32  // layer l occupies positions [layerOff[l], layerOff[l+1])
+}
+
+// build (re)derives the flat mirror of sch, reusing every buffer: after
+// the first call at a given instance size it allocates nothing. Children
+// are appended in parent-position order, so each parent's children are
+// contiguous and each layer is a single position range.
+func (s *treeShape) build(sch *Schedule) {
+	n := len(sch.Set.Nodes)
+	s.pos = resizeInt32(s.pos, n)
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	s.order = resizeNodeID(s.order, n)
+	s.parentPos = resizeInt32(s.parentPos, n)
+	s.rank = resizeInt64(s.rank, n)
+	s.kidLo = resizeInt32(s.kidLo, n)
+	s.kidHi = resizeInt32(s.kidHi, n)
+	s.layerOf = resizeInt32(s.layerOf, n)
+
+	s.order[0] = 0
+	s.pos[0] = 0
+	s.parentPos[0] = -1
+	s.rank[0] = 0
+	s.layerOf[0] = 0
+	write := 1
+	for i := 0; i < write; i++ {
+		s.kidLo[i] = int32(write)
+		for rk, w := range sch.children[s.order[i]] {
+			s.order[write] = w
+			s.pos[w] = int32(write)
+			s.parentPos[write] = int32(i)
+			s.rank[write] = int64(rk + 1)
+			s.layerOf[write] = s.layerOf[i] + 1
+			write++
+		}
+		s.kidHi[i] = int32(write)
+	}
+	s.m = write
+
+	layers := int(s.layerOf[write-1]) + 1
+	s.layerOff = resizeInt32(s.layerOff, layers+1)
+	s.layerOff[0] = 0
+	for i := 0; i < write; i++ {
+		s.layerOff[s.layerOf[i]+1] = int32(i + 1)
+	}
+}
+
+// layers returns the number of BFS layers of the attached shape.
+func (s *treeShape) layers() int { return len(s.layerOff) - 1 }

@@ -134,21 +134,10 @@ func (tm *Times) RecomputeFrom(t *Schedule, dirty NodeID) {
 	tm.rescanCompletion()
 }
 
-// rescanCompletion re-derives DT and RT from the flat arrays: two
-// branch-predictable linear scans over contiguous int64 slices.
+// rescanCompletion re-derives DT and RT from the flat arrays with one
+// fused branch-free kernel pass over the contiguous int64 slices.
 func (tm *Times) rescanCompletion() {
-	dt, rt := int64(0), int64(0)
-	for _, v := range tm.Delivery {
-		if v > dt {
-			dt = v
-		}
-	}
-	for _, v := range tm.Reception {
-		if v > rt {
-			rt = v
-		}
-	}
-	tm.DT, tm.RT = dt, rt
+	tm.DT, tm.RT = kernMax2(tm.Delivery, tm.Reception[:len(tm.Delivery)], 0, 0)
 }
 
 // resizeInt64 returns s with length n, reusing capacity when possible and

@@ -45,6 +45,17 @@ type SweepRequest struct {
 	Schedulers []string `json:"schedulers,omitempty"`
 	// Workers caps the batch worker pool; 0 uses the server default.
 	Workers int `json:"workers,omitempty"`
+	// Perturbed, when positive, additionally rescores every scheduler's
+	// tree under this many drawn cost perturbations per instance (batched
+	// on the flat lane engine) and reports per-scheduler means of the
+	// perturbed completion times in the result.
+	Perturbed int `json:"perturbed,omitempty"`
+	// Jitter is the perturbation amplitude in [0, 1): each cost is scaled
+	// by a uniform factor in [1-Jitter, 1+Jitter].
+	Jitter float64 `json:"jitter,omitempty"`
+	// JitterSeed seeds the perturbation draws; instance i draws from
+	// JitterSeed+i, so perturbed sweeps reproduce exactly.
+	JitterSeed int64 `json:"jitter_seed,omitempty"`
 }
 
 // SweepResult aggregates a finished sweep.
@@ -58,6 +69,10 @@ type SweepResult struct {
 	// Summaries maps scheduler name to its completion-time summary over
 	// the successful trials.
 	Summaries map[string]stats.Summary `json:"summaries"`
+	// PerturbedSummaries maps scheduler name to the summary of its mean
+	// perturbed completion times; only present when the request asked for
+	// perturbed rescoring.
+	PerturbedSummaries map[string]stats.Summary `json:"perturbed_summaries,omitempty"`
 	// Wins maps scheduler name to the number of trials it (weakly) won.
 	Wins map[string]int `json:"wins"`
 }
@@ -90,9 +105,10 @@ type Job struct {
 // otherwise occupy the worker pool for hours with no way to shed it.
 // Zero fields select the defaults; servers can override via Config.
 type sweepCaps struct {
-	maxTrials int
-	maxN      int
-	maxK      int
+	maxTrials    int
+	maxN         int
+	maxK         int
+	maxPerturbed int
 }
 
 func (c *sweepCaps) fill() {
@@ -104,6 +120,9 @@ func (c *sweepCaps) fill() {
 	}
 	if c.maxK <= 0 {
 		c.maxK = 16
+	}
+	if c.maxPerturbed <= 0 {
+		c.maxPerturbed = 4096
 	}
 }
 
@@ -174,6 +193,15 @@ func (js *jobStore) start(req SweepRequest) (Job, error) {
 	if int64(req.K) > maxSend {
 		return Job{}, fmt.Errorf("k %d distinct send overheads cannot be drawn from [1,%d]", req.K, maxSend)
 	}
+	if req.Perturbed < 0 {
+		return Job{}, fmt.Errorf("perturbed must be non-negative, got %d", req.Perturbed)
+	}
+	if req.Perturbed > js.caps.maxPerturbed {
+		return Job{}, fmt.Errorf("perturbed %d exceeds the server cap %d", req.Perturbed, js.caps.maxPerturbed)
+	}
+	if req.Perturbed > 0 && (req.Jitter < 0 || req.Jitter >= 1) {
+		return Job{}, fmt.Errorf("jitter %v outside [0, 1)", req.Jitter)
+	}
 	schedulers, err := registry.Select(req.Schedulers, req.Seed)
 	if err != nil {
 		return Job{}, err
@@ -233,6 +261,9 @@ func (js *jobStore) run(st *jobState, req SweepRequest, schedulers []model.Sched
 		Schedulers: schedulers,
 		Trials:     req.Trials,
 		Workers:    workers,
+		Perturbed:  req.Perturbed,
+		Jitter:     req.Jitter,
+		JitterSeed: req.JitterSeed,
 	}
 	results, err := sweep.Run()
 	now := time.Now().UTC()
@@ -263,6 +294,12 @@ func (js *jobStore) run(st *jobState, req SweepRequest, schedulers []model.Sched
 	}
 	for _, sc := range schedulers {
 		res.Summaries[sc.Name()] = batch.Aggregate(results, sc.Name())
+	}
+	if req.Perturbed > 0 {
+		res.PerturbedSummaries = make(map[string]stats.Summary, len(schedulers))
+		for _, sc := range schedulers {
+			res.PerturbedSummaries[sc.Name()] = batch.AggregateJitter(results, sc.Name())
+		}
 	}
 	st.job.Status = JobDone
 	st.job.Result = res

@@ -53,6 +53,9 @@ type Config struct {
 	SweepMaxTrials int
 	SweepMaxN      int
 	SweepMaxK      int
+	// SweepMaxPerturbed caps the per-instance perturbed draw count of a
+	// sweep request (default 4096).
+	SweepMaxPerturbed int
 
 	// Self, when non-empty, enables fleet mode: it is this replica's
 	// advertised base URL (e.g. "http://10.0.0.3:8080"), the identity
@@ -107,7 +110,8 @@ func New(cfg Config) *Server {
 		tables:       newTableCache(cfg.TableMemBytes, cfg.TableDir),
 		tableWorkers: cfg.TableWorkers,
 		jobs: newJobStore(ctx, cfg.MaxJobs, cfg.Workers,
-			sweepCaps{maxTrials: cfg.SweepMaxTrials, maxN: cfg.SweepMaxN, maxK: cfg.SweepMaxK}),
+			sweepCaps{maxTrials: cfg.SweepMaxTrials, maxN: cfg.SweepMaxN, maxK: cfg.SweepMaxK,
+				maxPerturbed: cfg.SweepMaxPerturbed}),
 		mux:    http.NewServeMux(),
 		cancel: cancel,
 	}

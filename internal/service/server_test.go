@@ -248,6 +248,74 @@ func TestSweepValidation(t *testing.T) {
 	}
 }
 
+func TestSweepPerturbed(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Trials: 4, N: 12, Seed: 5, Perturbed: 40, Jitter: 0.25, JitterSeed: 9,
+		Schedulers: []string{"greedy", "chain"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	job = waitJob(t, svc, job.ID)
+	if job.Status != JobDone {
+		t.Fatalf("job %s: status %s (%s)", job.ID, job.Status, job.Error)
+	}
+	if job.Result == nil || len(job.Result.PerturbedSummaries) != 2 {
+		t.Fatalf("perturbed summaries missing from result: %+v", job.Result)
+	}
+	for _, name := range []string{"greedy", "chain"} {
+		ps, ok := job.Result.PerturbedSummaries[name]
+		if !ok {
+			t.Fatalf("no perturbed summary for %s", name)
+		}
+		nominal := job.Result.Summaries[name]
+		if ps.N != nominal.N {
+			t.Errorf("%s: perturbed count %d, nominal %d", name, ps.N, nominal.N)
+		}
+		// Mean perturbed RT stays inside the 25% jitter envelope of the
+		// nominal mean (with slack for integer truncation per hop).
+		if ps.Mean < 0.74*nominal.Mean-64 || ps.Mean > 1.26*nominal.Mean+64 {
+			t.Errorf("%s: perturbed mean %v far from nominal mean %v", name, ps.Mean, nominal.Mean)
+		}
+	}
+	// A nominal-only sweep must not report perturbed summaries.
+	resp, body = post(t, ts.URL+"/v1/sweeps", SweepRequest{Trials: 2, N: 6, Schedulers: []string{"greedy"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &job)
+	job = waitJob(t, svc, job.ID)
+	if job.Result == nil || job.Result.PerturbedSummaries != nil {
+		t.Errorf("nominal sweep reported perturbed summaries: %+v", job.Result)
+	}
+}
+
+func TestSweepPerturbedValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]SweepRequest{
+		"negative perturbed": {Trials: 1, Perturbed: -1},
+		"jitter too large":   {Trials: 1, Perturbed: 8, Jitter: 1.0},
+		"negative jitter":    {Trials: 1, Perturbed: 8, Jitter: -0.1},
+		"over cap":           {Trials: 1, Perturbed: 5000, Jitter: 0.1},
+	} {
+		resp, _ := post(t, ts.URL+"/v1/sweeps", req)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: HTTP %d, want 422", name, resp.StatusCode)
+		}
+	}
+	// A raised cap admits larger draw counts.
+	_, ts2 := newTestServer(t, Config{SweepMaxPerturbed: 10000})
+	resp, body := post(t, ts2.URL+"/v1/sweeps", SweepRequest{Trials: 1, N: 4, Perturbed: 5000, Jitter: 0.1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("raised cap: HTTP %d (%s), want 202", resp.StatusCode, body)
+	}
+}
+
 func TestJobStoreBoundEvictsFinished(t *testing.T) {
 	svc, ts := newTestServer(t, Config{MaxJobs: 2})
 	ids := make([]string, 0, 3)

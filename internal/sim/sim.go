@@ -185,29 +185,93 @@ func RunPerturbed(sch *model.Schedule, perturb Perturb) (Result, error) {
 	return Result{Times: tm, Events: events}, nil
 }
 
-// Trials executes n independent perturbed runs of one schedule on a
-// batch.ForEach worker pool (workers = 0 selects GOMAXPROCS) and returns
-// the results in trial order, deterministic regardless of parallelism.
-// mk(i) builds the i-th trial's perturbation and is called on the worker
-// goroutine, so every trial must get an independent Perturb (seeded
-// generators like UniformJitter(int64(i), amp) are); a single stateful
-// Perturb shared across trials would race. mk may be nil for exact runs.
+// trialLanes is the batch width of the Monte Carlo fan-out: chunks of
+// this many trials share one BatchEngine attachment, wide enough to keep
+// the lane kernels streaming, narrow enough that a chunk's rows stay
+// cache-resident at production instance sizes.
+const trialLanes = 64
+
+// Trials scores n independent perturbed executions of one schedule in
+// trial order, deterministic regardless of parallelism (workers = 0
+// selects GOMAXPROCS). mk(i) builds the i-th trial's perturbation and is
+// called on the worker goroutine, so every trial must get an independent
+// Perturb (seeded generators like UniformJitter(int64(i), amp) are); a
+// single stateful Perturb shared across trials would race. mk may be nil
+// for exact runs.
 //
-// This is the Monte Carlo engine behind the robustness experiments; the
-// per-trial work is a full discrete-event execution, so the fan-out is
-// worth a pool even at modest n.
+// Unlike RunPerturbed, Trials does not replay an event queue per trial:
+// it draws each trial's costs up front — one canonical draw per (node,
+// operation), nodes in id order, send then recv then latency per node —
+// and scores chunks of trialLanes trials in single batched passes on a
+// pooled model.BatchEngine, which package model pins bit-identical to
+// the analytic recurrences. The drawn latency is per sender (every
+// transmission a node originates shares its draw) rather than per event,
+// so a Perturb that varies across calls with identical arguments yields
+// a different (equally valid) sample than the event-driven path; the
+// discrete-event RunPerturbed remains the semantic oracle and the per-run
+// escape hatch. Result.Events is 0 for batched trials — no events are
+// simulated.
 func Trials(sch *model.Schedule, n, workers int, mk func(trial int) Perturb) ([]Result, error) {
 	if err := sch.Validate(); err != nil {
 		return nil, err
 	}
+	set := sch.Set
+	nn := len(set.Nodes)
 	results := make([]Result, n)
 	errs := make([]error, n)
-	batch.ForEach(workers, n, func(_, i int) {
-		var p Perturb
+	chunks := (n + trialLanes - 1) / trialLanes
+	batch.ForEach(workers, chunks, func(_, c int) {
+		lo := c * trialLanes
+		hi := min(n, lo+trialLanes)
+		be := batch.Engines.Get()
+		defer batch.Engines.Put(be)
+		be.Attach(sch, hi-lo)
+		var sendC, recvC, latC []int64
 		if mk != nil {
-			p = mk(i)
+			sendC = make([]int64, nn)
+			recvC = make([]int64, nn)
+			latC = make([]int64, nn)
 		}
-		results[i], errs[i] = RunPerturbed(sch, p)
+		for trial := lo; trial < hi; trial++ {
+			if mk == nil {
+				continue // lanes stay nominal: the exact schedule costs
+			}
+			p := mk(trial)
+			if p == nil {
+				continue
+			}
+			ok := true
+			for v := 0; v < nn && ok; v++ {
+				id := model.NodeID(v)
+				for _, draw := range [3]struct {
+					op   Op
+					row  []int64
+					base int64
+				}{
+					{OpSend, sendC, set.Nodes[v].Send},
+					{OpRecv, recvC, set.Nodes[v].Recv},
+					{OpLatency, latC, set.Latency},
+				} {
+					got := p(id, draw.op, draw.base)
+					if got <= 0 {
+						errs[trial] = fmt.Errorf("sim: perturbation returned non-positive cost %d for node %d %v", got, v, draw.op)
+						ok = false
+						break
+					}
+					draw.row[v] = got
+				}
+			}
+			if ok {
+				be.SetLane(trial-lo, sendC, recvC, latC)
+			}
+		}
+		be.EvalAll()
+		for trial := lo; trial < hi; trial++ {
+			if errs[trial] != nil {
+				continue
+			}
+			be.LaneTimesInto(trial-lo, &results[trial].Times)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
