@@ -105,6 +105,10 @@ func encodeSet(set *model.MulticastSet) (json.RawMessage, error) {
 	return data, nil
 }
 
+// EncodeSet serializes an instance for embedding in a hand-built request
+// (ScheduleWith, CompareWith, Render).
+func EncodeSet(set *model.MulticastSet) (json.RawMessage, error) { return encodeSet(set) }
+
 // Schedule computes (or fetches from the plan cache) one schedule.
 func (c *Client) Schedule(ctx context.Context, set *model.MulticastSet, algo string, seed int64) (*service.ScheduleResponse, error) {
 	raw, err := encodeSet(set)
@@ -114,6 +118,19 @@ func (c *Client) Schedule(ctx context.Context, set *model.MulticastSet, algo str
 	var out service.ScheduleResponse
 	err = c.do(ctx, http.MethodPost, "/v1/schedule", service.ScheduleRequest{Algo: algo, Seed: seed, Set: raw}, &out)
 	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ScheduleWith sends a fully specified schedule request. Use it where the
+// Schedule convenience wrapper does not reach: selecting a non-base cost
+// model via the request's ModelParams (model "wan" with a latency matrix,
+// "pipeline" with a segment count, "reduce", "barrier") or asking the
+// server to generate a clustered WAN instance in place of an embedded set.
+func (c *Client) ScheduleWith(ctx context.Context, req service.ScheduleRequest) (*service.ScheduleResponse, error) {
+	var out service.ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -129,6 +146,17 @@ func (c *Client) Compare(ctx context.Context, set *model.MulticastSet, seed int6
 	var out service.CompareResponse
 	err = c.do(ctx, http.MethodPost, "/v1/compare", service.CompareRequest{Seed: seed, Set: raw, Optimal: optimal}, &out)
 	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CompareWith sends a fully specified compare request, including
+// cost-model selection (see ScheduleWith). The exact DP is base-only, so
+// Optimal combined with a non-base model is rejected by the server.
+func (c *Client) CompareWith(ctx context.Context, req service.CompareRequest) (*service.CompareResponse, error) {
+	var out service.CompareResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compare", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -103,6 +103,25 @@ type Sweep struct {
 	// safe for concurrent use (all schedulers in this repository are:
 	// they keep no mutable state across calls).
 	Schedulers []model.Scheduler
+	// Model, when non-nil and not the base model, scores every schedule
+	// under this cost model: each scheduler's tree is bound to the model
+	// before evaluation (schedulers from registry.SchedulersFor already
+	// optimize for it; structural schedulers are scored as-is). Perturbed
+	// rescoring is base-model only.
+	Model model.CostModel
+	// GenModel, when set, supplies instance i's cost model alongside the
+	// instance itself — e.g. the latency matrix of a generated WAN topology,
+	// which differs per trial. It must be safe for concurrent calls with
+	// distinct i and may return a nil model for the base objective.
+	// Mutually exclusive with Model; Perturbed rescoring is unsupported.
+	GenModel func(i int, set *model.MulticastSet) (model.CostModel, error)
+	// SchedulersFor, when set (requires GenModel), builds the scheduler
+	// list for one instance's model — e.g. registry.SchedulersFor, so the
+	// searches optimize that instance's matrix. The returned schedulers
+	// must keep the names of the Schedulers field, which still defines the
+	// sweep's name set for aggregation. Nil falls back to Schedulers with
+	// the model bound for scoring only.
+	SchedulersFor func(cm model.CostModel) ([]model.Scheduler, error)
 	// Trials is the number of instances.
 	Trials int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
@@ -159,6 +178,19 @@ func (s Sweep) Run() ([]Result, error) {
 	if s.Perturbed > 0 && (s.Jitter < 0 || s.Jitter >= 1) {
 		return nil, fmt.Errorf("batch: jitter amplitude %v outside [0, 1)", s.Jitter)
 	}
+	if s.Perturbed > 0 && !model.IsBase(s.Model) {
+		return nil, fmt.Errorf("batch: perturbed rescoring supports the base model only, not %q", s.Model.Name())
+	}
+	if s.GenModel != nil {
+		if !model.IsBase(s.Model) {
+			return nil, fmt.Errorf("batch: Model and GenModel are mutually exclusive")
+		}
+		if s.Perturbed > 0 {
+			return nil, fmt.Errorf("batch: perturbed rescoring supports the base model only")
+		}
+	} else if s.SchedulersFor != nil {
+		return nil, fmt.Errorf("batch: SchedulersFor requires GenModel")
+	}
 	names := map[string]bool{}
 	for _, sc := range s.Schedulers {
 		if names[sc.Name()] {
@@ -192,12 +224,27 @@ func (s Sweep) evalOne(sc *sweepScratch, i int) Result {
 	if err != nil {
 		return Result{Index: i, Err: fmt.Errorf("batch: gen(%d): %w", i, err)}
 	}
-	rt := make(map[string]int64, len(s.Schedulers))
+	cm := s.Model
+	scheds := s.Schedulers
+	if s.GenModel != nil {
+		if cm, err = s.GenModel(i, set); err != nil {
+			return Result{Index: i, Err: fmt.Errorf("batch: genmodel(%d): %w", i, err)}
+		}
+		if s.SchedulersFor != nil {
+			if scheds, err = s.SchedulersFor(cm); err != nil {
+				return Result{Index: i, Err: fmt.Errorf("batch: schedulers for instance %d: %w", i, err)}
+			}
+		}
+	}
+	rt := make(map[string]int64, len(scheds))
 	sc.schs = sc.schs[:0]
-	for _, schd := range s.Schedulers {
+	for _, schd := range scheds {
 		sch, err := schd.Schedule(set)
 		if err != nil {
 			return Result{Index: i, Err: fmt.Errorf("batch: %s on instance %d: %w", schd.Name(), i, err)}
+		}
+		if !model.IsBase(cm) {
+			sch.BindModel(cm)
 		}
 		sc.eng.Attach(sch)
 		rt[schd.Name()] = sc.eng.RT()

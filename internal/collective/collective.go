@@ -53,27 +53,49 @@ func Reduce(sch *model.Schedule) (ReduceTimes, error) {
 	if err := sch.Validate(); err != nil {
 		return ReduceTimes{}, err
 	}
-	set := sch.Set
-	n := len(set.Nodes)
+	n := len(sch.Set.Nodes)
 	rt := ReduceTimes{Ready: make([]int64, n)}
-	var rec func(v model.NodeID) int64
-	rec = func(v model.NodeID) int64 {
-		kids := sch.Children(v)
-		busyUntil := int64(0)
-		for i := len(kids) - 1; i >= 0; i-- {
-			c := kids[i]
-			childReady := rec(c)
-			arrive := childReady + set.Nodes[c].Send + set.Latency
-			if arrive < busyUntil {
-				arrive = busyUntil
-			}
-			busyUntil = arrive + set.Nodes[v].Recv
-		}
-		rt.Ready[v] = busyUntil
-		return busyUntil
+	// Iterative bottom-up pass: BFS order puts parents before children, so
+	// scanning it in reverse sees every child's ready time before its
+	// parent. No recursion, so a chain schedule of depth n cannot overflow
+	// the stack.
+	order := make([]model.NodeID, 0, n)
+	order = append(order, 0)
+	for i := 0; i < len(order); i++ {
+		order = append(order, sch.Children(order[i])...)
 	}
-	rt.Done = rec(0)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		rt.Ready[v] = absorbChildren(sch, v, rt.Ready, nil)
+	}
+	rt.Done = rt.Ready[0]
 	return rt, nil
+}
+
+// absorbChildren folds v's children's contributions in reverse delivery
+// order:
+//
+//	recv_i = max(recv_{i-1}, ready(c_i) + osend(c_i) + L) + orecv(v)
+//
+// returning v's ready (busy-until) time. When absorbAt is non-nil the
+// per-child absorb completion times are recorded into it. Reduce and
+// Gather share this loop so the two recurrences cannot drift.
+func absorbChildren(sch *model.Schedule, v model.NodeID, ready []int64, absorbAt map[model.NodeID]int64) int64 {
+	set := sch.Set
+	kids := sch.Children(v)
+	busyUntil := int64(0)
+	for i := len(kids) - 1; i >= 0; i-- {
+		c := kids[i]
+		arrive := ready[c] + set.Nodes[c].Send + set.Latency
+		if arrive < busyUntil {
+			arrive = busyUntil
+		}
+		busyUntil = arrive + set.Nodes[v].Recv
+		if absorbAt != nil {
+			absorbAt[c] = busyUntil
+		}
+	}
+	return busyUntil
 }
 
 // BarrierRT is the completion time of a barrier implemented as a reduce
@@ -94,36 +116,30 @@ func Gather(sch *model.Schedule) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	set := sch.Set
-	n := len(set.Nodes)
+	n := len(sch.Set.Nodes)
 	out := make([]int64, n)
 	// A node's contribution reaches the root when the root has absorbed
 	// the message of the subtree containing it; conservatively this is the
 	// absorb time of its top-level ancestor's message. Recompute the
-	// per-child absorb times at the root.
+	// per-child absorb times at the root with the same fold Reduce uses.
 	kids := sch.Children(0)
-	busyUntil := int64(0)
-	absorb := make(map[model.NodeID]int64, len(kids))
-	for i := len(kids) - 1; i >= 0; i-- {
-		c := kids[i]
-		arrive := red.Ready[c] + set.Nodes[c].Send + set.Latency
-		if arrive < busyUntil {
-			arrive = busyUntil
-		}
-		busyUntil = arrive + set.Nodes[0].Recv
-		absorb[c] = busyUntil
-	}
-	// Propagate: every node inherits its top-level ancestor's absorb time.
-	var mark func(v model.NodeID, t int64)
-	mark = func(v model.NodeID, t int64) {
-		out[v] = t
-		for _, c := range sch.Children(v) {
-			mark(c, t)
-		}
-	}
+	absorbAt := make(map[model.NodeID]int64, len(kids))
+	absorbChildren(sch, 0, red.Ready, absorbAt)
+	// Propagate iteratively (deep chains again): every node inherits its
+	// top-level ancestor's absorb time.
 	out[0] = red.Done
+	stack := make([]model.NodeID, 0, len(kids))
 	for _, c := range kids {
-		mark(c, absorb[c])
+		out[c] = absorbAt[c]
+		stack = append(stack, c)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range sch.Children(v) {
+			out[c] = out[v]
+			stack = append(stack, c)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,131 @@
+package heur
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/wan"
+)
+
+// TestSearchesBeatScenarioGreedyOnWAN is the PR's acceptance test for the
+// WAN scenario: LocalSearch, Annealing and BeamSearch — unchanged code,
+// handed a LinkModel — must each produce a structurally valid schedule on
+// a clustered WAN instance that is no worse than the scenario's own
+// greedy, with every completion time scored by the retained reference
+// evaluator wan.Topology.ComputeTimes (not by the engine being tested).
+func TestSearchesBeatScenarioGreedyOnWAN(t *testing.T) {
+	topo, err := wan.GenerateClustered(wan.ClusteredConfig{
+		Clusters: 4, NodesPerCluster: 8,
+		LANLatency: 2, WANLatency: 50,
+		K: 3, MaxSend: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedySch, err := topo.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyTm, err := topo.ComputeTimes(greedySch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cm := &model.LinkModel{Lat: topo.Lat}
+	set := topo.BaseSet(topo.MinLatency())
+	for _, s := range []model.Scheduler{
+		LocalSearch{Model: cm},
+		Annealing{Model: cm},
+		BeamSearch{Model: cm},
+	} {
+		sch, err := s.Schedule(set)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", s.Name(), err)
+		}
+		ref, err := topo.ComputeTimes(sch)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if ref.RT > greedyTm.RT {
+			t.Fatalf("%s: WAN RT %d worse than scenario greedy %d", s.Name(), ref.RT, greedyTm.RT)
+		}
+		// The engine's own score must agree with the reference evaluator.
+		var tm model.Times
+		if err := model.EvalTimes(sch, &tm); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if tm.RT != ref.RT {
+			t.Fatalf("%s: engine RT %d != wan reference RT %d", s.Name(), tm.RT, ref.RT)
+		}
+	}
+}
+
+// TestSearchesBeatBaseGreedyOnPipeline is the pipelined (M = 8)
+// acceptance test: each search, handed a PipelineModel, must produce a
+// valid schedule whose pipelined completion — scored by the reference
+// evaluator pipeline.Times — is no worse than the base greedy tree's,
+// i.e. optimizing the pipelined objective must not lose to ignoring it.
+func TestSearchesBeatBaseGreedyOnPipeline(t *testing.T) {
+	const segments = 8
+	set := recvTiedPipelineSet()
+	base, err := core.Schedule(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := pipeline.Times(base, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cm := model.PipelineModel{Segments: segments}
+	for _, s := range []model.Scheduler{
+		LocalSearch{Model: cm},
+		Annealing{Model: cm},
+		BeamSearch{Model: cm},
+	} {
+		sch, err := s.Schedule(set)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", s.Name(), err)
+		}
+		res, err := pipeline.Times(sch, segments)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.RT > baseRes.RT {
+			t.Fatalf("%s: pipelined RT %d worse than base greedy tree's %d", s.Name(), res.RT, baseRes.RT)
+		}
+		var tm model.Times
+		if err := model.EvalTimes(sch, &tm); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if tm.RT != res.RT {
+			t.Fatalf("%s: engine RT %d != pipeline reference RT %d", s.Name(), tm.RT, res.RT)
+		}
+	}
+}
+
+// recvTiedPipelineSet builds a heterogeneous instance where pipelining
+// matters: large messages relative to per-segment overheads, a mix of
+// fast and slow relays.
+func recvTiedPipelineSet() *model.MulticastSet {
+	nodes := make([]model.Node, 21)
+	for i := range nodes {
+		switch i % 3 {
+		case 0:
+			nodes[i] = model.Node{Send: 8, Recv: 24}
+		case 1:
+			nodes[i] = model.Node{Send: 16, Recv: 40}
+		default:
+			nodes[i] = model.Node{Send: 24, Recv: 64}
+		}
+	}
+	return &model.MulticastSet{Latency: 12, Nodes: nodes}
+}

@@ -22,6 +22,13 @@ type BeamSearch struct {
 	// Branch is the number of sender alternatives expanded per state
 	// (default 3).
 	Branch int
+	// Model is the cost model to optimize (nil or BaseModel: the base
+	// receive-send objective). Under the link model the construction keys
+	// carry the per-pair latencies; under the other models the base keys
+	// guide construction and the model scores the finished candidates. The
+	// model-aware greedy always joins the final pool, so the result is
+	// never worse than the scenario greedy under the model.
+	Model model.CostModel
 }
 
 // Name implements model.Scheduler.
@@ -56,6 +63,16 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	if branch <= 0 {
 		branch = 3
 	}
+	cm := b.Model
+	if !model.IsBase(cm) {
+		if err := cm.Validate(set); err != nil {
+			return nil, err
+		}
+	}
+	var lat [][]int64 // link model: per-pair latencies in the beam keys
+	if lm, ok := cm.(*model.LinkModel); ok {
+		lat = lm.Lat
+	}
 	n := len(set.Nodes)
 	order := set.SortedDestinations()
 	L := set.Latency
@@ -85,7 +102,11 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 				if st.parent[v] == -1 && v != 0 {
 					continue
 				}
-				key := st.reception[v] + (st.sends[v]+1)*set.Nodes[v].Send + L
+				lt := L
+				if lat != nil {
+					lt = lat[v][pi]
+				}
+				key := st.reception[v] + (st.sends[v]+1)*set.Nodes[v].Send + lt
 				options = append(options, cand{state: st, key: key, from: model.NodeID(v)})
 			}
 			sort.Slice(options, func(i, j int) bool {
@@ -130,18 +151,44 @@ func (b BeamSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 	var best *model.Schedule
 	var bestRT int64
 	var eng model.Engine
+	score := func(sch *model.Schedule) {
+		eng.Attach(sch)
+		if rt := eng.RT(); best == nil || rt < bestRT {
+			best, bestRT = sch, rt
+		}
+	}
 	for _, st := range beam {
 		sch, err := materialize(set, st)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := core.ReverseLeaves(sch); err != nil {
+		if model.IsBase(cm) {
+			if _, err := core.ReverseLeaves(sch); err != nil {
+				return nil, err
+			}
+			score(sch)
+			continue
+		}
+		// Model mode: the reversal permutation is base-guided, so build it
+		// on an untagged clone and let the model pick between the plain and
+		// the reversed tree.
+		rev := sch.Clone()
+		if _, err := core.ReverseLeaves(rev); err != nil {
 			return nil, err
 		}
-		eng.Attach(sch)
-		if rt := eng.RT(); best == nil || rt < bestRT {
-			best, bestRT = sch, rt
+		sch.BindModel(cm)
+		rev.BindModel(cm)
+		score(sch)
+		score(rev)
+	}
+	if !model.IsBase(cm) {
+		// Guarantee the result is never worse than the scenario greedy
+		// under the model, even when the base-guided beam keys mislead.
+		g, err := ModelGreedy{Model: cm, Reversal: true}.Schedule(set)
+		if err != nil {
+			return nil, err
 		}
+		score(g)
 	}
 	if best == nil {
 		return nil, fmt.Errorf("heur: beam search produced no schedule")

@@ -37,10 +37,15 @@ func (SlowestFirst) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 // a leaf to the end of another node's children list. First-improvement
 // with deterministic scan order; stops at a local optimum or MaxRounds.
 type LocalSearch struct {
-	// Base produces the starting schedule (default: greedy+leafrev).
+	// Base produces the starting schedule (default: greedy+leafrev, or the
+	// model-aware greedy when Model is set).
 	Base model.Scheduler
 	// MaxRounds bounds the improvement passes (default 50).
 	MaxRounds int
+	// Model is the cost model to optimize (nil or BaseModel: the base
+	// receive-send objective). A model bound to the base schedule is
+	// adopted when Model is unset.
+	Model model.CostModel
 }
 
 // Name implements model.Scheduler.
@@ -57,9 +62,14 @@ func (l LocalSearch) Name() string { return "local-search" }
 // mutate-and-undo loop this replaces, so results are bit-identical to it
 // (pinned by the parity suite).
 func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
+	cm := l.Model
 	base := l.Base
 	if base == nil {
-		base = core.Greedy{Reversal: true}
+		if model.IsBase(cm) {
+			base = core.Greedy{Reversal: true}
+		} else {
+			base = ModelGreedy{Model: cm, Reversal: true}
+		}
 	}
 	rounds := l.MaxRounds
 	if rounds <= 0 {
@@ -69,6 +79,15 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
+	if model.IsBase(cm) {
+		cm = sch.Model() // adopt a base scheduler's model binding
+	} else {
+		sch.BindModel(cm)
+	}
+	// Under a type-symmetric model swapping two same-type occupants cannot
+	// change any time, so those pairs are pruned before evaluation; the
+	// link model's latency terms break that symmetry.
+	skipSame := model.IsBase(cm) || cm.TypeSymmetric()
 	var eng model.Engine
 	eng.Attach(sch)
 	cur := eng.RT()
@@ -81,7 +100,7 @@ func (l LocalSearch) Schedule(set *model.MulticastSet) (*model.Schedule, error) 
 		moves = moves[:0]
 		for a := 1; a < n; a++ {
 			for b := a + 1; b < n; b++ {
-				if set.Nodes[a] == set.Nodes[b] {
+				if skipSame && set.Nodes[a] == set.Nodes[b] {
 					continue // same type: swap cannot change times
 				}
 				moves = append(moves, model.SwapMove(a, b))
@@ -173,6 +192,13 @@ type Annealing struct {
 	// T0 is the initial temperature in time units (default: 10% of the
 	// starting completion time).
 	T0 float64
+	// Base produces the starting schedule (default: greedy+leafrev, or the
+	// model-aware greedy when Model is set).
+	Base model.Scheduler
+	// Model is the cost model to optimize (nil or BaseModel: the base
+	// receive-send objective). A model bound to the base schedule is
+	// adopted when Model is unset.
+	Model model.CostModel
 }
 
 // Name implements model.Scheduler.
@@ -189,10 +215,25 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		seed = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	sch, err := core.ScheduleWithReversal(set)
+	cm := a.Model
+	base := a.Base
+	if base == nil {
+		if model.IsBase(cm) {
+			base = core.Greedy{Reversal: true}
+		} else {
+			base = ModelGreedy{Model: cm, Reversal: true}
+		}
+	}
+	sch, err := base.Schedule(set)
 	if err != nil {
 		return nil, err
 	}
+	if model.IsBase(cm) {
+		cm = sch.Model() // adopt a base scheduler's model binding
+	} else {
+		sch.BindModel(cm)
+	}
+	skipSame := model.IsBase(cm) || cm.TypeSymmetric()
 	n := len(set.Nodes)
 	if n <= 2 {
 		return sch, nil
@@ -227,7 +268,7 @@ func (a Annealing) Schedule(set *model.MulticastSet) (*model.Schedule, error) {
 		// times).
 		x := 1 + rng.Intn(n-1)
 		y := 1 + rng.Intn(n-1)
-		if x == y || set.Nodes[x] == set.Nodes[y] {
+		if x == y || (skipSame && set.Nodes[x] == set.Nodes[y]) {
 			continue
 		}
 		_, rtInt := eng.Eval(model.SwapMove(x, y))

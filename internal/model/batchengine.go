@@ -51,6 +51,9 @@ func (e *BatchEngine) Attach(sch *Schedule, lanes int) {
 	if lanes <= 0 {
 		panic(fmt.Sprintf("model: BatchEngine.Attach: lanes must be positive, got %d", lanes))
 	}
+	if cm := sch.Model(); !IsBase(cm) {
+		panic(fmt.Sprintf("model: BatchEngine.Attach: schedule bound to cost model %q; the batch engine scores the base model only", cm.Name()))
+	}
 	e.set = sch.Set
 	e.treeShape.build(sch)
 	e.lanes = lanes

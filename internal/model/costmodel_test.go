@@ -1,0 +1,229 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randLinkModel draws a latency matrix with entries in [1, 40] (zero
+// diagonal), the shape GenerateClustered produces without depending on
+// package wan (which imports this one).
+func randLinkModel(rng *rand.Rand, n int) *LinkModel {
+	lat := make([][]int64, n)
+	for u := range lat {
+		lat[u] = make([]int64, n)
+		for v := range lat[u] {
+			if u != v {
+				lat[u][v] = 1 + rng.Int63n(40)
+			}
+		}
+	}
+	return &LinkModel{Lat: lat}
+}
+
+// pickModel maps a fuzzer byte to a cost model over n nodes.
+func pickModel(rng *rand.Rand, sel byte, n int) CostModel {
+	switch sel % 5 {
+	case 0:
+		return randLinkModel(rng, n)
+	case 1:
+		return PipelineModel{Segments: 1 + int(sel/5)%6}
+	case 2:
+		return ReduceModel{}
+	case 3:
+		return BarrierModel{}
+	default:
+		return NodeModel{Lambda: int64(sel / 5 % 7)}
+	}
+}
+
+func sameTimes(t *testing.T, what string, got, want *Times) {
+	t.Helper()
+	if got.DT != want.DT || got.RT != want.RT {
+		t.Fatalf("%s: engine DT/RT = %d/%d, reference %d/%d", what, got.DT, got.RT, want.DT, want.RT)
+	}
+	for v := range want.Delivery {
+		if got.Delivery[v] != want.Delivery[v] || got.Reception[v] != want.Reception[v] {
+			t.Fatalf("%s: node %d engine d/r = %d/%d, reference %d/%d",
+				what, v, got.Delivery[v], got.Reception[v], want.Delivery[v], want.Reception[v])
+		}
+	}
+}
+
+// FuzzCostModelEngine drives random schedules bound to fuzzer-chosen cost
+// models through move sequences, pinning the engine — Eval's move
+// predictions, CommitSwap's incremental state, and TimesInto after
+// re-attach — bit-identically to the model's own EvalInto at every step.
+// This is the seam the heuristics stand on when they optimize WAN,
+// pipelined or collective objectives.
+func FuzzCostModelEngine(f *testing.F) {
+	f.Add(uint64(1), byte(0), []byte{0, 1, 2})
+	f.Add(uint64(7), byte(1), []byte{1, 3, 0, 0, 2, 5})
+	f.Add(uint64(42), byte(2), []byte{0, 1, 2, 1, 4, 0, 0, 3, 3})
+	f.Add(uint64(9), byte(3), []byte{2, 9, 9, 1, 1, 1, 0, 0, 0})
+	f.Add(uint64(23), byte(4), []byte{0, 2, 4, 1, 5, 1})
+	f.Add(uint64(5), byte(6), []byte{0, 1, 3, 0, 2, 6, 1, 4, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, sel byte, ops []byte) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(seed%22)
+		set := randIncrSet(rng, n) // n destinations + the source
+		sch := randIncrSchedule(rng, set)
+		cm := pickModel(rng, sel, len(set.Nodes))
+		sch.BindModel(cm)
+
+		var ref, got Times
+		var eng Engine
+		eng.Attach(sch)
+		check := func(what string) {
+			t.Helper()
+			if err := cm.EvalInto(sch, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if eng.DT() != ref.DT || eng.RT() != ref.RT {
+				t.Fatalf("%s: engine DT/RT = %d/%d, reference %d/%d", what, eng.DT(), eng.RT(), ref.DT, ref.RT)
+			}
+			eng.TimesInto(&got)
+			sameTimes(t, what, &got, &ref)
+		}
+		check("attach")
+		out := make([]int64, 1)
+		for i := 0; i+2 < len(ops); i += 3 {
+			kind, x, y := ops[i], 1+int(ops[i+1])%n, 1+int(ops[i+2])%n
+			if x == y {
+				continue
+			}
+			var mv Move
+			if kind%2 == 0 {
+				mv = SwapMove(x, y)
+			} else {
+				if !sch.IsLeaf(x) {
+					continue
+				}
+				target := NodeID(int(ops[i+2]) % (n + 1))
+				if target == x || target == sch.Parent(x) {
+					continue
+				}
+				if target != 0 && sch.Parent(target) == -1 {
+					continue
+				}
+				mv = RelocateMove(x, target)
+			}
+			eng.EvalMoves([]Move{mv}, out)
+			evalDT, evalRT := eng.Eval(mv)
+			if evalRT != out[0] {
+				t.Fatalf("Eval %d vs EvalMoves %d for %v", evalRT, out[0], mv)
+			}
+			// Apply the move as the heuristics do and pin the engine's
+			// prediction to the reference evaluation of the mutated tree.
+			if mv.Kind == MoveSwap {
+				if err := sch.SwapNodes(mv.A, mv.B); err != nil {
+					t.Fatal(err)
+				}
+				if i%2 == 0 {
+					eng.CommitSwap(mv.A, mv.B)
+				} else {
+					eng.Attach(sch)
+				}
+			} else {
+				if _, _, err := sch.RemoveLeaf(mv.A); err != nil {
+					t.Fatal(err)
+				}
+				if err := sch.InsertChild(mv.B, mv.A, len(sch.Children(mv.B))); err != nil {
+					t.Fatal(err)
+				}
+				eng.Attach(sch)
+			}
+			if err := cm.EvalInto(sch, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if evalDT != ref.DT || evalRT != ref.RT {
+				t.Fatalf("%s %v on %q: Eval predicted DT/RT = %d/%d, reference after apply %d/%d",
+					kindName(mv.Kind), mv, cm.Name(), evalDT, evalRT, ref.DT, ref.RT)
+			}
+			check(cm.Name())
+		}
+	})
+}
+
+func kindName(k MoveKind) string {
+	if k == MoveSwap {
+		return "swap"
+	}
+	return "relocate"
+}
+
+// TestEngineMatchesEvalIntoPerModel is the deterministic slice of the
+// fuzz target: one mid-size random schedule per model, attach + a swap
+// commit + a relocate re-attach, every state pinned to EvalInto.
+func TestEngineMatchesEvalIntoPerModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set := randIncrSet(rng, 14)
+	models := []CostModel{
+		randLinkModel(rng, len(set.Nodes)),
+		PipelineModel{Segments: 8},
+		ReduceModel{},
+		BarrierModel{},
+		NodeModel{Lambda: 3},
+	}
+	for _, cm := range models {
+		t.Run(cm.Name(), func(t *testing.T) {
+			sch := randIncrSchedule(rng, set)
+			sch.BindModel(cm)
+			var eng Engine
+			eng.Attach(sch)
+			var ref Times
+			if err := cm.EvalInto(sch, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if eng.RT() != ref.RT || eng.DT() != ref.DT {
+				t.Fatalf("attach: engine DT/RT = %d/%d, EvalInto %d/%d", eng.DT(), eng.RT(), ref.DT, ref.RT)
+			}
+			_, predRT := eng.Eval(SwapMove(1, 2))
+			if err := sch.SwapNodes(1, 2); err != nil {
+				t.Fatal(err)
+			}
+			eng.CommitSwap(1, 2)
+			if err := cm.EvalInto(sch, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if predRT != ref.RT || eng.RT() != ref.RT {
+				t.Fatalf("swap: predicted %d, committed %d, EvalInto %d", predRT, eng.RT(), ref.RT)
+			}
+		})
+	}
+}
+
+// TestBindModelGuards pins the satellite-2 contract at the package level:
+// a schedule bound to a non-base model must not be scorable through the
+// base-model helpers that silently ignore the model, and the batch lane
+// engine (base-only by construction) must refuse it outright.
+func TestBindModelGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	set := randIncrSet(rng, 6)
+	sch := randIncrSchedule(rng, set)
+	sch.BindModel(randLinkModel(rng, len(set.Nodes)))
+
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a wan-bound schedule did not panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("model.RT", func() { RT(sch) })
+	mustPanic("model.ComputeTimes", func() { ComputeTimes(sch) })
+	mustPanic("BatchEngine.Attach", func() { new(BatchEngine).Attach(sch, 1) })
+
+	// The model-dispatching entry point still works, and clones carry the
+	// binding with them.
+	var tm Times
+	if err := EvalTimes(sch, &tm); err != nil {
+		t.Fatal(err)
+	}
+	if cl := sch.Clone(); cl.Model() != sch.Model() {
+		t.Fatal("Clone dropped the model binding")
+	}
+	mustPanic("model.RT on a clone", func() { RT(sch.Clone()) })
+}

@@ -81,16 +81,48 @@ type Engine struct {
 	newR  []int64
 	stamp []uint32
 	gen   uint32
+
+	// Cost-model dispatch, set by Attach from the schedule's bound model.
+	// The base model leaves all three zero; the link model sets lat and
+	// runs the incremental machinery with latency-aware child fills; any
+	// other model sets generic and scores through clone-mutate-undo
+	// against CostModel.EvalInto.
+	cm      CostModel
+	lat     [][]int64
+	generic bool
+
+	gSch  *Schedule // generic path: mutable mirror of the attached schedule
+	gTm   Times     // generic path: attached schedule's times under cm
+	gEvTm Times     // generic path: per-Eval scratch times
 }
 
 // Attach (re)builds the engine's flat mirror of sch, reusing all internal
 // buffers: after the first call at a given instance size it allocates
 // nothing. Unattached destinations get position -1 and contribute zero
 // times, matching the ComputeTimes convention.
+//
+// Attach adopts the schedule's bound cost model (Schedule.BindModel): the
+// base model and the link model run the incremental structure-of-arrays
+// machinery (the link model's per-pair latency recurrence still factors
+// through the per-layer maxima), while the remaining models evaluate
+// through CostModel.EvalInto on an internal schedule mirror.
 func (e *Engine) Attach(sch *Schedule) {
+	cm := sch.Model()
+	e.cm, e.lat, e.generic = cm, nil, false
+	if !IsBase(cm) {
+		if lm, ok := cm.(*LinkModel); ok {
+			e.lat = lm.Lat
+		} else {
+			e.attachGeneric(sch, cm)
+			return
+		}
+	}
 	set := sch.Set
 	n := len(set.Nodes)
 	e.set, e.sch = set, sch
+	if e.lat != nil && len(e.lat) != n {
+		panic(fmt.Sprintf("model: Attach: latency matrix sized for %d nodes, set has %d", len(e.lat), n))
+	}
 
 	e.treeShape.build(sch)
 	e.sendOf = resizeInt64(e.sendOf, n)
@@ -120,10 +152,21 @@ func (e *Engine) Attach(sch *Schedule) {
 // order (parents precede children, so one forward pass suffices). The
 // per-parent work is one kernChildTimes call: a bounds-check-free
 // strength-reduced scan over contiguous children — no pointer chasing, no
-// per-node dispatch.
+// per-node dispatch. Under the link model the fill gathers each child's
+// latency term from the parent occupant's matrix row instead.
 func (e *Engine) refreshTimes() {
-	L := e.set.Latency
 	e.d[0], e.r[0] = 0, 0
+	if e.lat != nil {
+		for i := 0; i < e.m; i++ {
+			kl, kh := int(e.kidLo[i]), int(e.kidHi[i])
+			if kl == kh {
+				continue
+			}
+			wanChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.order[kl:kh], e.lat[e.order[i]], e.r[i], e.sendOf[i])
+		}
+		return
+	}
+	L := e.set.Latency
 	for i := 0; i < e.m; i++ {
 		kl, kh := int(e.kidLo[i]), int(e.kidHi[i])
 		if kl == kh {
@@ -131,6 +174,15 @@ func (e *Engine) refreshTimes() {
 		}
 		kernChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.r[i]+L, e.sendOf[i])
 	}
+}
+
+// deliveryAt recomputes position q's delivery from its parent's current
+// reception under the link model. Rank and parent are determined by the
+// position, but the latency term depends on both occupants, so staged
+// occupant changes (evalSwap, CommitSwap) must re-derive it.
+func (e *Engine) deliveryAt(q int32) int64 {
+	pp := e.parentPos[q]
+	return e.r[pp] + e.rank[q]*e.sendOf[pp] + e.lat[e.order[pp]][e.order[q]]
 }
 
 // refreshAggregates rebuilds the layer-local running maxima and the
@@ -183,6 +235,10 @@ func (e *Engine) refreshCrossLayer(layers int) {
 // O(layers). Acceptance-heavy loops (annealing) commit this way instead
 // of paying Attach's pointer-heavy BFS rebuild.
 func (e *Engine) CommitSwap(a, b NodeID) {
+	if e.generic {
+		e.commitSwapGeneric(a, b)
+		return
+	}
 	qa, qb := e.pos[a], e.pos[b]
 	if qa < 0 || qb < 0 {
 		panic(fmt.Sprintf("model: CommitSwap of unattached node (%d, %d)", a, b))
@@ -203,10 +259,19 @@ func (e *Engine) CommitSwap(a, b NodeID) {
 	for e.layerOf[p] > e.layerOf[q1] {
 		p = e.parentPos[p]
 	}
-	e.r[q1] = e.d[q1] + e.recvOf[q1] // delivery is position-determined
+	// Base model: delivery is position-determined, so only the reception
+	// changes at the swapped positions. Link model: the latency term
+	// depends on the new occupant, so the delivery re-derives too.
+	if e.lat != nil {
+		e.d[q1] = e.deliveryAt(q1)
+	}
+	e.r[q1] = e.d[q1] + e.recvOf[q1]
 	pend := int32(-1)
-	if p != q1 { // disjoint subtrees: q2's own delivery is unchanged too
+	if p != q1 { // disjoint subtrees: q2's own seed re-derives the same way
 		pend = q2
+		if e.lat != nil {
+			e.d[q2] = e.deliveryAt(q2)
+		}
 		e.r[q2] = e.d[q2] + e.recvOf[q2]
 	}
 	l := int(e.layerOf[q1])
@@ -234,7 +299,11 @@ func (e *Engine) CommitSwap(a, b NodeID) {
 				if kl == kh {
 					continue
 				}
-				kernChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.r[p]+L, e.sendOf[p])
+				if e.lat != nil {
+					wanChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.order[kl:kh], e.lat[e.order[p]], e.r[p], e.sendOf[p])
+				} else {
+					kernChildTimes(e.d[kl:kh], e.r[kl:kh], e.recvOf[kl:kh], e.r[p]+L, e.sendOf[p])
+				}
 			}
 			nlo[nns], nhi[nns] = cs, ce
 			nns++
@@ -273,6 +342,15 @@ func (e *Engine) RT() int64 { return e.rt }
 // get zero times). It reuses tm's buffers and allocates nothing after
 // warmup.
 func (e *Engine) TimesInto(tm *Times) {
+	if e.generic {
+		n := len(e.set.Nodes)
+		tm.Delivery = resizeInt64(tm.Delivery, n)
+		tm.Reception = resizeInt64(tm.Reception, n)
+		copy(tm.Delivery, e.gTm.Delivery)
+		copy(tm.Reception, e.gTm.Reception)
+		tm.DT, tm.RT = e.gTm.DT, e.gTm.RT
+		return
+	}
 	n := len(e.set.Nodes)
 	tm.Delivery = resizeInt64(tm.Delivery, n)
 	tm.Reception = resizeInt64(tm.Reception, n)
@@ -314,6 +392,9 @@ func (e *Engine) EvalMoves(moves []Move, out []int64) {
 // reception completion times the schedule would have after it. See
 // EvalMoves for the preconditions.
 func (e *Engine) Eval(mv Move) (dt, rt int64) {
+	if e.generic {
+		return e.evalGeneric(mv)
+	}
 	switch mv.Kind {
 	case MoveSwap:
 		return e.evalSwap(mv.A, mv.B)
@@ -366,21 +447,36 @@ func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
 	}
 	nested := p == q1
 
-	// Stage the post-swap occupant overheads in place.
+	// Stage the post-swap occupant overheads (and, under the link model,
+	// occupants — latency terms are occupant-dependent) in place.
 	e.sendOf[q1], e.sendOf[q2] = e.sendOf[q2], e.sendOf[q1]
 	e.recvOf[q1], e.recvOf[q2] = e.recvOf[q2], e.recvOf[q1]
+	if e.lat != nil {
+		e.order[q1], e.order[q2] = e.order[q2], e.order[q1]
+	}
 
 	gen := e.nextGen()
-	movD := e.d[q1] // q1's delivery is position-determined: unchanged
-	e.newR[q1] = e.d[q1] + e.recvOf[q1]
+	// Base model: q1's delivery is position-determined, hence unchanged.
+	// Link model: the incoming latency depends on the staged occupant, so
+	// the seed delivery re-derives from the parent's current reception.
+	d1 := e.d[q1]
+	if e.lat != nil {
+		d1 = e.deliveryAt(q1)
+	}
+	movD := d1
+	e.newR[q1] = d1 + e.recvOf[q1]
 	e.stamp[q1] = gen
 	movR := e.newR[q1]
 	pend := int32(-1)
 	if !nested {
 		pend = q2
-		e.newR[q2] = e.d[q2] + e.recvOf[q2]
+		d2 := e.d[q2]
+		if e.lat != nil {
+			d2 = e.deliveryAt(q2)
+		}
+		e.newR[q2] = d2 + e.recvOf[q2]
 		e.stamp[q2] = gen
-		movD = max(movD, e.d[q2])
+		movD = max(movD, d2)
 		movR = max(movR, e.newR[q2])
 	}
 	dt, rt := e.walkSpans(q1, pend, gen, movD, movR)
@@ -388,6 +484,9 @@ func (e *Engine) evalSwap(a, b NodeID) (int64, int64) {
 	// Unstage: the engine must be left exactly as attached.
 	e.sendOf[q1], e.sendOf[q2] = e.sendOf[q2], e.sendOf[q1]
 	e.recvOf[q1], e.recvOf[q2] = e.recvOf[q2], e.recvOf[q1]
+	if e.lat != nil {
+		e.order[q1], e.order[q2] = e.order[q2], e.order[q1]
+	}
 	return dt, rt
 }
 
@@ -419,8 +518,22 @@ func (e *Engine) evalRelocate(leaf, target NodeID) (int64, int64) {
 	rp, sv := e.r[po], e.sendOf[po]
 	sibLo, sibHi := int(pl)+1, int(e.kidHi[po])
 	if sibLo < sibHi {
-		base := rp + (e.rank[pl]-1)*sv + L
-		movD, movR = kernChildCand(e.newR[sibLo:sibHi], e.recvOf[sibLo:sibHi], e.stamp[sibLo:sibHi], gen, base, sv, movD, movR)
+		if e.lat != nil {
+			// Each later sibling moves one rank earlier: its delivery
+			// drops by exactly one send slot and its occupant-dependent
+			// latency term is unchanged, so shift the existing times.
+			for j := sibLo; j < sibHi; j++ {
+				dj := e.d[j] - sv
+				rj := dj + e.recvOf[j]
+				e.newR[j] = rj
+				e.stamp[j] = gen
+				movD = max(movD, dj)
+				movR = max(movR, rj)
+			}
+		} else {
+			base := rp + (e.rank[pl]-1)*sv + L
+			movD, movR = kernChildCand(e.newR[sibLo:sibHi], e.recvOf[sibLo:sibHi], e.stamp[sibLo:sibHi], gen, base, sv, movD, movR)
+		}
 	}
 	dt, rt := e.walkSpansBounds(pl, e.kidHi[po], -1, gen, movD, movR)
 	// The leaf's contribution at its new position: appended after
@@ -434,7 +547,12 @@ func (e *Engine) evalRelocate(leaf, target NodeID) (int64, int64) {
 	if pt == po {
 		cnt--
 	}
-	dd := rt2 + (cnt+1)*e.sendOf[pt] + L
+	dd := rt2 + (cnt+1)*e.sendOf[pt]
+	if e.lat != nil {
+		dd += e.lat[e.order[pt]][e.order[pl]]
+	} else {
+		dd += L
+	}
 	rj := dd + e.recvOf[pl]
 	return max(dt, dd), max(rt, rj)
 }
@@ -498,7 +616,11 @@ func (e *Engine) walkSpansBounds(lo0, hi0, pend int32, gen uint32, movD, movR in
 				if kl == kh {
 					continue
 				}
-				movD, movR = kernChildCand(e.newR[kl:kh], e.recvOf[kl:kh], e.stamp[kl:kh], gen, e.newR[p]+L, e.sendOf[p], movD, movR)
+				if e.lat != nil {
+					movD, movR = wanChildCand(e.newR[kl:kh], e.recvOf[kl:kh], e.stamp[kl:kh], e.order[kl:kh], e.lat[e.order[p]], gen, e.newR[p], e.sendOf[p], movD, movR)
+				} else {
+					movD, movR = kernChildCand(e.newR[kl:kh], e.recvOf[kl:kh], e.stamp[kl:kh], gen, e.newR[p]+L, e.sendOf[p], movD, movR)
+				}
 			}
 			nlo[nns], nhi[nns] = cs, ce
 			nns++
@@ -543,4 +665,93 @@ func resizeNodeID(s []NodeID, n int) []NodeID {
 		return make([]NodeID, n, growCap(n))
 	}
 	return s[:n]
+}
+
+// attachGeneric is the Attach path for cost models without incremental
+// engine support (pipeline, reduce, barrier, node): the engine keeps a
+// private mutable mirror of the schedule and scores through
+// CostModel.EvalInto. The flat structure-of-arrays state is left stale and
+// must not be consulted while e.generic is set.
+func (e *Engine) attachGeneric(sch *Schedule, cm CostModel) {
+	e.set, e.sch = sch.Set, sch
+	e.cm, e.lat, e.generic = cm, nil, true
+	if e.gSch == nil || len(e.gSch.parent) != len(sch.parent) {
+		e.gSch = sch.Clone()
+	} else {
+		e.gSch.Set = sch.Set
+		if err := e.gSch.CopyFrom(sch); err != nil {
+			panic(fmt.Sprintf("model: Attach: %v", err))
+		}
+	}
+	if err := cm.EvalInto(e.gSch, &e.gTm); err != nil {
+		panic(fmt.Sprintf("model: Attach: %v", err))
+	}
+	e.dt, e.rt = e.gTm.DT, e.gTm.RT
+}
+
+// evalGeneric scores one candidate move on the generic path: apply the
+// move to the internal mirror, evaluate the bound model into per-Eval
+// scratch, and undo the move exactly. Invalid operands panic with the
+// same intent as the structure-of-arrays path.
+func (e *Engine) evalGeneric(mv Move) (int64, int64) {
+	s := e.gSch
+	switch mv.Kind {
+	case MoveSwap:
+		if mv.A == mv.B {
+			return e.dt, e.rt
+		}
+		if err := s.SwapNodes(mv.A, mv.B); err != nil {
+			panic(fmt.Sprintf("model: Eval: %v", err))
+		}
+		everr := e.cm.EvalInto(s, &e.gEvTm)
+		if err := s.SwapNodes(mv.A, mv.B); err != nil {
+			panic(fmt.Sprintf("model: Eval: undo: %v", err))
+		}
+		if everr != nil {
+			panic(fmt.Sprintf("model: Eval: %v", everr))
+		}
+		return e.gEvTm.DT, e.gEvTm.RT
+	case MoveRelocate:
+		if mv.A == mv.B {
+			panic(fmt.Sprintf("model: Eval: invalid relocate (%d -> %d)", mv.A, mv.B))
+		}
+		p0, i0, err := s.RemoveLeaf(mv.A)
+		if err != nil {
+			panic(fmt.Sprintf("model: Eval: %v", err))
+		}
+		if err := s.InsertChild(mv.B, mv.A, len(s.children[mv.B])); err != nil {
+			if uerr := s.InsertChild(p0, mv.A, i0); uerr != nil {
+				panic(fmt.Sprintf("model: Eval: undo: %v", uerr))
+			}
+			panic(fmt.Sprintf("model: Eval: %v", err))
+		}
+		everr := e.cm.EvalInto(s, &e.gEvTm)
+		if _, _, err := s.RemoveLeaf(mv.A); err != nil {
+			panic(fmt.Sprintf("model: Eval: undo: %v", err))
+		}
+		if err := s.InsertChild(p0, mv.A, i0); err != nil {
+			panic(fmt.Sprintf("model: Eval: undo: %v", err))
+		}
+		if everr != nil {
+			panic(fmt.Sprintf("model: Eval: %v", everr))
+		}
+		return e.gEvTm.DT, e.gEvTm.RT
+	default:
+		panic(fmt.Sprintf("model: Eval: unknown move kind %d", mv.Kind))
+	}
+}
+
+// commitSwapGeneric is CommitSwap on the generic path: mirror the swap on
+// the internal schedule copy and re-evaluate the bound model.
+func (e *Engine) commitSwapGeneric(a, b NodeID) {
+	if a == b {
+		return
+	}
+	if err := e.gSch.SwapNodes(a, b); err != nil {
+		panic(fmt.Sprintf("model: CommitSwap: %v", err))
+	}
+	if err := e.cm.EvalInto(e.gSch, &e.gTm); err != nil {
+		panic(fmt.Sprintf("model: CommitSwap: %v", err))
+	}
+	e.dt, e.rt = e.gTm.DT, e.gTm.RT
 }

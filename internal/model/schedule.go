@@ -13,6 +13,26 @@ type Schedule struct {
 	Set      *MulticastSet
 	parent   []NodeID   // parent[v] = parent of v, -1 for root / unattached
 	children [][]NodeID // ordered children lists
+	cm       CostModel  // bound cost model; nil means the base model
+}
+
+// BindModel tags the schedule with the cost model it was built for (nil
+// restores the base model). Scenario constructors bind their plans so
+// that base-model evaluation paths (ComputeTimes, RT, Timeline) refuse
+// them loudly instead of silently reporting times under the wrong model;
+// Engine.Attach and EvalTimes dispatch on the tag.
+func (t *Schedule) BindModel(cm CostModel) { t.cm = cm }
+
+// Model returns the schedule's bound cost model; nil means the base
+// receive-send model.
+func (t *Schedule) Model() CostModel { return t.cm }
+
+// requireBase panics unless the schedule is bound to the base model; op
+// names the base-model-only operation for the message.
+func (t *Schedule) requireBase(op string) {
+	if !IsBase(t.cm) {
+		panic(fmt.Sprintf("model: %s on a schedule bound to cost model %q; evaluate with EvalTimes or an Engine", op, t.cm.Name()))
+	}
 }
 
 // NewSchedule creates an empty schedule for the set: only the source is
@@ -223,12 +243,14 @@ func (t *Schedule) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the schedule sharing the same set.
+// Clone returns a deep copy of the schedule sharing the same set (and
+// bound cost model, if any).
 func (t *Schedule) Clone() *Schedule {
 	c := &Schedule{
 		Set:      t.Set,
 		parent:   append([]NodeID(nil), t.parent...),
 		children: make([][]NodeID, len(t.children)),
+		cm:       t.cm,
 	}
 	for v, kids := range t.children {
 		if kids != nil {
@@ -241,7 +263,8 @@ func (t *Schedule) Clone() *Schedule {
 // CopyFrom makes t a structural copy of o, reusing t's slices so repeated
 // snapshots (e.g. annealing's incumbent-best bookkeeping) allocate only
 // when a children list outgrows its previous capacity. Both schedules must
-// be sized for the same instance; t keeps its own Set pointer.
+// be sized for the same instance; t keeps its own Set pointer but adopts
+// o's bound cost model.
 func (t *Schedule) CopyFrom(o *Schedule) error {
 	if len(t.parent) != len(o.parent) {
 		return fmt.Errorf("model: CopyFrom: schedule sized for %d nodes, source has %d", len(t.parent), len(o.parent))
@@ -250,6 +273,7 @@ func (t *Schedule) CopyFrom(o *Schedule) error {
 	for v, kids := range o.children {
 		t.children[v] = append(t.children[v][:0], kids...)
 	}
+	t.cm = o.cm
 	return nil
 }
 

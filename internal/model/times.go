@@ -22,6 +22,7 @@ type Times struct {
 	RT int64
 
 	stack []NodeID // DFS scratch shared by the full and subtree walks
+	aux   []int64  // flat scratch for the non-base cost models
 }
 
 // ComputeTimes evaluates the model recurrences on a schedule, assuming (as
@@ -33,6 +34,11 @@ type Times struct {
 //
 // The schedule must be structurally valid (see Schedule.Validate); nodes
 // not attached yet are reported with zero times.
+//
+// ComputeTimes is the base model only: a schedule bound to a different
+// cost model (Schedule.BindModel) panics here rather than silently
+// reporting base times for a plan built under another objective — use
+// EvalTimes for model-dispatching evaluation.
 func ComputeTimes(t *Schedule) Times {
 	var tm Times
 	ComputeTimesInto(t, &tm)
@@ -41,7 +47,16 @@ func ComputeTimes(t *Schedule) Times {
 
 // ComputeTimesInto is ComputeTimes writing into tm, reusing its buffers:
 // after the first call at a given instance size it allocates nothing.
+// Like ComputeTimes it refuses schedules bound to a non-base cost model.
 func ComputeTimesInto(t *Schedule, tm *Times) {
+	t.requireBase("ComputeTimes")
+	computeBaseTimesInto(t, tm)
+}
+
+// computeBaseTimesInto is the unguarded base-model recurrence, shared by
+// ComputeTimesInto and the cost models built on top of the base times
+// (BaseModel, BarrierModel).
+func computeBaseTimesInto(t *Schedule, tm *Times) {
 	n := len(t.Set.Nodes)
 	tm.Delivery = resizeInt64(tm.Delivery, n)
 	tm.Reception = resizeInt64(tm.Reception, n)
@@ -97,10 +112,11 @@ func ComputeTimesInto(t *Schedule, tm *Times) {
 // A detached destination (RemoveLeaf'd but not yet reinserted) gets zero
 // times, matching the ComputeTimes convention.
 func (tm *Times) RecomputeFrom(t *Schedule, dirty NodeID) {
+	t.requireBase("RecomputeFrom")
 	n := len(t.Set.Nodes)
 	if len(tm.Delivery) != n || len(tm.Reception) != n {
 		// Different instance size: incremental state is meaningless.
-		ComputeTimesInto(t, tm)
+		computeBaseTimesInto(t, tm)
 		return
 	}
 	L := t.Set.Latency

@@ -107,3 +107,80 @@ func Select(names []string, seed int64) ([]model.Scheduler, error) {
 	}
 	return out, nil
 }
+
+// LookupFor is Lookup under a cost model: the same catalog of names, with
+// each resolved scheduler replaced by its model-aware variant. The greedy
+// entries become the model-aware greedy, the searches (local-search,
+// annealing, beam-search) carry the model into their engines, and the
+// structural schedulers (baselines, postal tree, slowest-first) pass
+// through unchanged — their trees never consult the objective, and the
+// caller scores the result under the model. The exact DP is base-only:
+// its layering argument does not transfer, so resolving it under a
+// non-base model is an error rather than a silently wrong "optimal".
+func LookupFor(name string, seed int64, cm model.CostModel) (model.Scheduler, error) {
+	s, err := Lookup(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return forModel(s, cm)
+}
+
+// forModel rewrites one resolved scheduler for the cost model; see
+// LookupFor.
+func forModel(s model.Scheduler, cm model.CostModel) (model.Scheduler, error) {
+	if model.IsBase(cm) {
+		return s, nil
+	}
+	switch t := s.(type) {
+	case exact.Solver:
+		return nil, fmt.Errorf("registry: %q solves the base model only, not model %q", OptimalName, cm.Name())
+	case core.Greedy:
+		return heur.ModelGreedy{Model: cm, Reversal: t.Reversal}, nil
+	case heur.LocalSearch:
+		t.Model = cm
+		return t, nil
+	case heur.Annealing:
+		t.Model = cm
+		return t, nil
+	case heur.BeamSearch:
+		t.Model = cm
+		return t, nil
+	}
+	return s, nil
+}
+
+// SchedulersFor is Schedulers with every entry rewritten for the cost
+// model (see LookupFor).
+func SchedulersFor(seed int64, cm model.CostModel) ([]model.Scheduler, error) {
+	in := Schedulers(seed)
+	out := make([]model.Scheduler, 0, len(in))
+	for _, s := range in {
+		ms, err := forModel(s, cm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// SelectFor is Select with every resolved entry rewritten for the cost
+// model (see LookupFor).
+func SelectFor(names []string, seed int64, cm model.CostModel) ([]model.Scheduler, error) {
+	if len(names) == 0 {
+		return SchedulersFor(seed, cm)
+	}
+	base, err := Select(names, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]model.Scheduler, 0, len(base))
+	for _, s := range base {
+		ms, err := forModel(s, cm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/stats"
+	"repro/internal/wan"
 )
 
 var (
@@ -56,6 +57,67 @@ type SweepRequest struct {
 	// JitterSeed seeds the perturbation draws; instance i draws from
 	// JitterSeed+i, so perturbed sweeps reproduce exactly.
 	JitterSeed int64 `json:"jitter_seed,omitempty"`
+	// Model selects the sweep's cost model: "" or "base" (receive-send),
+	// "wan", "pipeline", "reduce" or "barrier". Perturbed rescoring is
+	// base-model only.
+	Model string `json:"model,omitempty"`
+	// Segments is the pipeline segment count M >= 1 (model "pipeline").
+	Segments int `json:"segments,omitempty"`
+	// WAN parameterizes the clustered WAN generator (model "wan", where it
+	// is required and replaces the cluster generator: instance i is the
+	// topology drawn with WAN.Seed+i, schedulers optimize and score
+	// against that instance's latency matrix).
+	WAN *WANSpec `json:"wan,omitempty"`
+}
+
+// validateModel checks the cost-model selection against the rest of the
+// request. It runs before fill(), so the cluster-generator fields still
+// distinguish "unset" from their defaults: a WAN sweep ignores them, and
+// silently ignoring explicit parameters is exactly the class of bug the
+// cost-model seam exists to prevent.
+func (req *SweepRequest) validateModel() error {
+	if req.Model != "pipeline" && req.Segments != 0 {
+		return fmt.Errorf("\"segments\" applies to model \"pipeline\" only")
+	}
+	if req.Model != "wan" && req.WAN != nil {
+		return fmt.Errorf("\"wan\" applies to model \"wan\" only")
+	}
+	switch req.Model {
+	case "", "base", "reduce", "barrier":
+	case "pipeline":
+		if req.Segments < 1 {
+			return fmt.Errorf("model \"pipeline\" needs \"segments\" >= 1, got %d", req.Segments)
+		}
+	case "wan":
+		if req.WAN == nil {
+			return fmt.Errorf("model \"wan\" needs a \"wan\" generator spec")
+		}
+		if req.N != 0 || req.K != 0 || req.MaxSend != 0 || req.Latency != 0 ||
+			req.RatioMin != 0 || req.RatioMax != 0 {
+			return fmt.Errorf("the cluster generator parameters (n, k, max_send, latency, ratio_min, ratio_max) do not apply to model \"wan\"; size the instance via the \"wan\" spec")
+		}
+	default:
+		return fmt.Errorf("unknown model %q (want base, wan, pipeline, reduce or barrier)", req.Model)
+	}
+	if req.Perturbed > 0 && req.Model != "" && req.Model != "base" {
+		return fmt.Errorf("perturbed rescoring supports the base model only, not %q", req.Model)
+	}
+	return nil
+}
+
+// uniformModel returns the sweep-wide cost model, nil for the base model
+// and for "wan" (whose matrices are per-instance). Call after
+// validateModel.
+func (req *SweepRequest) uniformModel() model.CostModel {
+	switch req.Model {
+	case "pipeline":
+		return &model.PipelineModel{Segments: req.Segments}
+	case "reduce":
+		return &model.ReduceModel{}
+	case "barrier":
+		return &model.BarrierModel{}
+	}
+	return nil
 }
 
 // SweepResult aggregates a finished sweep.
@@ -169,6 +231,9 @@ func (req *SweepRequest) fill() {
 // sweep goroutine. It fails if the request is invalid or the store is
 // full of still-running jobs.
 func (js *jobStore) start(req SweepRequest) (Job, error) {
+	if err := req.validateModel(); err != nil {
+		return Job{}, err
+	}
 	req.fill()
 	if req.Trials <= 0 {
 		return Job{}, fmt.Errorf("trials must be positive, got %d", req.Trials)
@@ -202,7 +267,28 @@ func (js *jobStore) start(req SweepRequest) (Job, error) {
 	if req.Perturbed > 0 && (req.Jitter < 0 || req.Jitter >= 1) {
 		return Job{}, fmt.Errorf("jitter %v outside [0, 1)", req.Jitter)
 	}
-	schedulers, err := registry.Select(req.Schedulers, req.Seed)
+	var schedulers []model.Scheduler
+	var err error
+	switch req.Model {
+	case "", "base":
+		schedulers, err = registry.Select(req.Schedulers, req.Seed)
+	case "wan":
+		// The instance sizes come from the WAN spec, so the n cap must too.
+		if n := req.WAN.Clusters * req.WAN.NodesPerCluster; n > js.caps.maxN {
+			return Job{}, fmt.Errorf("wan instance size %d exceeds the server cap %d", n, js.caps.maxN)
+		}
+		// Validate the spec up front by drawing instance 0; per-trial
+		// matrices are regenerated inside the sweep.
+		if _, err := req.WAN.generate(); err != nil {
+			return Job{}, err
+		}
+		// Resolve names against a placeholder link model: whether a name is
+		// model-capable (e.g. "optimal" is not) does not depend on the
+		// matrix, which differs per trial anyway.
+		schedulers, err = registry.SelectFor(req.Schedulers, req.Seed, &model.LinkModel{})
+	default:
+		schedulers, err = registry.SelectFor(req.Schedulers, req.Seed, req.uniformModel())
+	}
 	if err != nil {
 		return Job{}, err
 	}
@@ -259,11 +345,45 @@ func (js *jobStore) run(st *jobState, req SweepRequest, schedulers []model.Sched
 			})
 		},
 		Schedulers: schedulers,
+		Model:      req.uniformModel(),
 		Trials:     req.Trials,
 		Workers:    workers,
 		Perturbed:  req.Perturbed,
 		Jitter:     req.Jitter,
 		JitterSeed: req.JitterSeed,
+	}
+	if req.Model == "wan" {
+		// WAN trials draw whole topologies: instance i is the clustered
+		// topology with spec seed+i, and its latency matrix rides along as
+		// the trial's cost model, with the schedulers re-resolved against it
+		// so the searches optimize that matrix rather than merely being
+		// scored under it.
+		spec := *req.WAN
+		topoAt := func(i int) (*wan.Topology, error) {
+			if err := js.ctx.Err(); err != nil {
+				return nil, err
+			}
+			sp := spec
+			sp.Seed += int64(i)
+			return sp.generate()
+		}
+		sweep.Gen = func(i int) (*model.MulticastSet, error) {
+			topo, err := topoAt(i)
+			if err != nil {
+				return nil, err
+			}
+			return topo.BaseSet(topo.MinLatency()), nil
+		}
+		sweep.GenModel = func(i int, _ *model.MulticastSet) (model.CostModel, error) {
+			topo, err := topoAt(i)
+			if err != nil {
+				return nil, err
+			}
+			return &model.LinkModel{Lat: topo.Lat}, nil
+		}
+		sweep.SchedulersFor = func(cm model.CostModel) ([]model.Scheduler, error) {
+			return registry.SelectFor(req.Schedulers, req.Seed, cm)
+		}
 	}
 	results, err := sweep.Run()
 	now := time.Now().UTC()

@@ -153,14 +153,16 @@ func (s *Server) Close() {
 
 // ScheduleRequest asks for one schedule. Set is the instance in the
 // trace codec's set encoding: {"latency": L, "nodes": [{"send","recv"}...]}
-// with nodes[0] the source.
+// with nodes[0] the source. The embedded ModelParams select the cost
+// model; omitted they choose the base receive-send model.
 type ScheduleRequest struct {
 	// Algo is a registry algorithm name (default "greedy+leafrev").
 	Algo string `json:"algo,omitempty"`
 	// Seed drives the randomized schedulers; ignored (and excluded from
 	// the cache key) for deterministic ones.
 	Seed int64           `json:"seed,omitempty"`
-	Set  json.RawMessage `json:"set"`
+	Set  json.RawMessage `json:"set,omitempty"`
+	ModelParams
 }
 
 // Theorem1 reports the paper's Theorem 1 constants for the instance.
@@ -191,10 +193,11 @@ type ScheduleResponse struct {
 // CompareRequest asks for every polynomial scheduler on one instance.
 type CompareRequest struct {
 	Seed int64           `json:"seed,omitempty"`
-	Set  json.RawMessage `json:"set"`
+	Set  json.RawMessage `json:"set,omitempty"`
 	// Optimal also attempts the exact DP (bounded by its state-space
-	// guard; silently omitted if infeasible).
+	// guard; silently omitted if infeasible). Base model only.
 	Optimal bool `json:"optimal,omitempty"`
+	ModelParams
 }
 
 // CompareResponse is the reply to POST /v1/compare.
@@ -211,11 +214,14 @@ type CompareResponse struct {
 type RenderRequest struct {
 	Algo string          `json:"algo,omitempty"`
 	Seed int64           `json:"seed,omitempty"`
-	Set  json.RawMessage `json:"set"`
-	// Format is one of tree, gantt, dot, svg, json (default tree).
+	Set  json.RawMessage `json:"set,omitempty"`
+	// Format is one of tree, gantt, dot, svg, json (default tree). The
+	// text renderers draw base-model timings, so a non-base model allows
+	// "json" only.
 	Format string `json:"format,omitempty"`
 	// Width caps gantt columns (default 100).
 	Width int `json:"width,omitempty"`
+	ModelParams
 }
 
 type apiError struct {
@@ -246,30 +252,36 @@ func decodeSet(raw json.RawMessage) (*model.MulticastSet, error) {
 	return trace.UnmarshalSetJSON(raw)
 }
 
-// plan resolves (set, algo, seed) through the plan cache, computing and
-// inserting on a miss. The set must already be validated. The returned
-// Plan is shared and must not be mutated.
-func (s *Server) plan(set *model.MulticastSet, algo string, seed int64) (*Plan, string, bool, error) {
-	return s.planCanonical(Canonicalize(set), algo, seed)
-}
-
 // planCanonical is plan for a set already in canonical form; handlers
 // that resolve several algorithms on one instance canonicalize once.
 func (s *Server) planCanonical(canon *model.MulticastSet, algo string, seed int64) (*Plan, string, bool, error) {
+	return s.planModel(canon, algo, seed, resolvedModel{})
+}
+
+// planModel is planCanonical under a cost model: the algorithm resolves
+// to its model-aware variant, the schedule is bound to the model before
+// encoding and scoring, and the model joins the cache key so a WAN plan
+// can never be served for a base request of the same network (or vice
+// versa). The paper's lower bounds argue about the base objective only,
+// so non-base plans report a trivial zero bound.
+func (s *Server) planModel(canon *model.MulticastSet, algo string, seed int64, rm resolvedModel) (*Plan, string, bool, error) {
 	if !registry.Seeded(algo) {
 		seed = 0 // deterministic algorithms share one cache entry across seeds
 	}
-	key := KeyCanonical(canon, algo, seed)
+	key := KeyCanonicalModel(canon, algo, seed, rm)
 	if p, ok := s.cache.Get(key); ok {
 		return p, key, true, nil
 	}
-	sched, err := registry.Lookup(algo, seed)
+	sched, err := registry.LookupFor(algo, seed, rm.cm)
 	if err != nil {
 		return nil, key, false, err
 	}
 	sch, err := sched.Schedule(canon)
 	if err != nil {
 		return nil, key, false, err
+	}
+	if rm.cm != nil {
+		sch.BindModel(rm.cm) // structural schedulers return untagged trees
 	}
 	js, err := trace.MarshalJSON(sch)
 	if err != nil {
@@ -282,14 +294,15 @@ func (s *Server) planCanonical(canon *model.MulticastSet, algo string, seed int6
 	eng.Attach(sch)
 	rt, dt := eng.RT(), eng.DT()
 	s.engines.Put(eng)
-	bp := bounds.ParamsOf(canon)
 	p := &Plan{
 		Algo:         algo,
 		ScheduleJSON: js,
 		RT:           rt,
 		DT:           dt,
-		LowerBound:   lower.Best(canon),
-		Bound:        bp,
+	}
+	if rm.cm == nil {
+		p.LowerBound = lower.Best(canon)
+		p.Bound = bounds.ParamsOf(canon)
 	}
 	s.cache.Put(key, p)
 	return p, key, false, nil
@@ -312,19 +325,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	set, err := decodeSet(req.Set)
+	if req.Algo == "" {
+		req.Algo = "greedy+leafrev"
+	}
+	canon, rm, err := resolveInstance(req.ModelParams, req.Set)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Algo == "" {
-		req.Algo = "greedy+leafrev"
-	}
-	canon := Canonicalize(set)
-	if s.fleetEnabled() && !fleetForwarded(r) && s.fleetSchedule(w, r, canon, req) {
+	if s.fleetEnabled() && !fleetForwarded(r) && s.fleetSchedule(w, r, canon, rm, req) {
 		return
 	}
-	p, key, hit, err := s.planCanonical(canon, req.Algo, req.Seed)
+	p, key, hit, err := s.planModel(canon, req.Algo, req.Seed, rm)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -347,12 +359,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // returned plan is inserted into the local cache, making repeats local.
 // It reports whether it wrote the response; false falls through to the
 // normal local path (local hit, self-owned key, or owner unreachable).
-func (s *Server) fleetSchedule(w http.ResponseWriter, r *http.Request, canon *model.MulticastSet, req ScheduleRequest) bool {
+func (s *Server) fleetSchedule(w http.ResponseWriter, r *http.Request, canon *model.MulticastSet, rm resolvedModel, req ScheduleRequest) bool {
 	seed := req.Seed
 	if !registry.Seeded(req.Algo) {
 		seed = 0
 	}
-	ck := KeyCanonical(canon, req.Algo, seed)
+	ck := KeyCanonicalModel(canon, req.Algo, seed, rm)
 	if _, ok := s.cache.Get(ck); ok {
 		return false // already cached here; serve locally
 	}
@@ -410,12 +422,21 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	set, err := decodeSet(req.Set)
+	canon, rm, err := resolveInstance(req.ModelParams, req.Set)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	canon := Canonicalize(set)
+	if req.Optimal && rm.cm != nil {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("\"optimal\" solves the base model only, not model %q", rm.cm.Name()))
+		return
+	}
+	scheds, err := registry.SchedulersFor(req.Seed, rm.cm)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
 
 	// Fleet consult for the exact optimum — before any local cold DP
 	// work on a network owned elsewhere (this covers the disk-fallback
@@ -452,8 +473,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := CompareResponse{RT: map[string]int64{}}
-	for _, sched := range registry.Schedulers(req.Seed) {
-		p, _, _, err := s.planCanonical(canon, sched.Name(), req.Seed)
+	for _, sched := range scheds {
+		p, _, _, err := s.planModel(canon, sched.Name(), req.Seed, rm)
 		if err != nil {
 			continue // a scheduler that cannot handle the instance is simply absent
 		}
@@ -478,8 +499,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			resp.Optimal = &opt
 		}
 	}
-	resp.LowerBound = lower.Best(canon)
-	resp.Theorem1 = theorem1(bounds.ParamsOf(canon))
+	if rm.cm == nil {
+		// The paper's bounds argue about the base objective only.
+		resp.LowerBound = lower.Best(canon)
+		resp.Theorem1 = theorem1(bounds.ParamsOf(canon))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -489,15 +513,23 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	set, err := decodeSet(req.Set)
+	if req.Algo == "" {
+		req.Algo = "greedy+leafrev"
+	}
+	if req.Format == "" {
+		req.Format = "tree"
+	}
+	canon, rm, err := resolveInstance(req.ModelParams, req.Set)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Algo == "" {
-		req.Algo = "greedy+leafrev"
+	if rm.cm != nil && req.Format != "json" {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("format %q draws base-model timings; model %q supports format \"json\" only", req.Format, rm.cm.Name()))
+		return
 	}
-	p, _, _, err := s.plan(set, req.Algo, req.Seed)
+	p, _, _, err := s.planModel(canon, req.Algo, req.Seed, rm)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

@@ -121,7 +121,10 @@ func MarshalJSON(sch *model.Schedule) ([]byte, error) {
 			queue = append(queue, c)
 		}
 	}
-	tm := model.ComputeTimes(sch)
+	var tm model.Times
+	if err := model.EvalTimes(sch, &tm); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	js.Meta = &jsonTiming{RT: tm.RT, DT: tm.DT}
 	return json.MarshalIndent(js, "", "  ")
 }

@@ -164,6 +164,12 @@ func (t *Topology) Greedy() (*model.Schedule, error) {
 		attached[pi] = true
 		reception[pi] = bestKey + t.Nodes[pi].Recv
 	}
+	// Bind the schedule to its cost model: the embedded set's scalar
+	// latency is a placeholder, so scoring this plan with base-model
+	// ComputeTimes would silently report wrong WAN times. The binding makes
+	// that path panic instead; evaluate with t.ComputeTimes or
+	// model.EvalTimes.
+	sch.BindModel(&model.LinkModel{Lat: t.Lat})
 	return sch, nil
 }
 
@@ -207,13 +213,30 @@ func GenerateClustered(cfg ClusteredConfig) (*Topology, error) {
 	// Draw k correlated types.
 	types := make([]model.Node, k)
 	send, recv := int64(0), int64(0)
+	prevSend := int64(0)
 	for i := range types {
 		send += 1 + rng.Int63n(maxSend/int64(k)+1)
+		if send > maxSend {
+			// The cumulative draw can overshoot by up to k (each of the k
+			// type draws adds at least 1 on top of maxSend/k); clamp so the
+			// documented MaxSend bound actually holds for every type.
+			send = maxSend
+		}
+		if send == prevSend {
+			// Two consecutive draws clamped onto the cap: duplicate the
+			// previous type wholesale. Equal send with a different recv
+			// would break the correlated-overheads invariant Validate
+			// enforces.
+			types[i] = types[i-1]
+			types[i].Name = fmt.Sprintf("type%d", i)
+			continue
+		}
 		r := send + rng.Int63n(send+1)
 		if r <= recv {
 			r = recv + 1
 		}
 		recv = r
+		prevSend = send
 		types[i] = model.Node{Send: send, Recv: recv, Name: fmt.Sprintf("type%d", i)}
 	}
 	total := cfg.Clusters * cfg.NodesPerCluster
