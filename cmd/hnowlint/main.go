@@ -1,0 +1,76 @@
+// Command hnowlint runs the repository's invariant analyzers
+// (internal/lint) over the module: modelbound, pairing, expvarname, and
+// the source half of noalloc on every invocation; the compiler-backed
+// escape check with -escape (CI runs both). Exit status 1 means at
+// least one finding, printed one per line as file:line:col: analyzer:
+// message.
+//
+// Usage:
+//
+//	go run ./cmd/hnowlint ./...                          # source analyzers
+//	go run ./cmd/hnowlint -escape ./...                  # + escape-allowlist diff
+//	go run ./cmd/hnowlint -escape-only -write-allowlist ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		dir        = flag.String("C", ".", "module directory to analyze in")
+		escape     = flag.Bool("escape", false, "also run the //hnow:noalloc escape check (rebuilds annotated packages with -gcflags=-m)")
+		escapeOnly = flag.Bool("escape-only", false, "run only the escape check")
+		allowlist  = flag.String("allowlist", filepath.Join(".github", "escape_allowlist.txt"), "escape allowlist path, relative to the module directory")
+		writeAllow = flag.Bool("write-allowlist", false, "regenerate the escape allowlist from fresh compiler output instead of diffing")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var findings []lint.Finding
+	if !*escapeOnly {
+		fs, err := lint.RunAnalyzers(pkgs, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if *escape || *escapeOnly || *writeAllow {
+		path := *allowlist
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(*dir, path)
+		}
+		fs, err := lint.EscapeCheck(*dir, pkgs, path, *writeAllow)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *writeAllow {
+			fmt.Fprintf(os.Stderr, "hnowlint: wrote %s\n", path)
+		}
+		findings = append(findings, fs...)
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hnowlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

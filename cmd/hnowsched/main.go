@@ -153,33 +153,48 @@ func main() {
 	if cm != nil {
 		sch.BindModel(cm)
 	}
-	if cm != nil && *format != "json" && *format != "rt" {
-		fail(fmt.Errorf("format %q draws base-model timings; under -model %s use json or rt", *format, cm.Name()))
+	out, err := formatSchedule(sch, *format, *width)
+	if err != nil {
+		fail(err)
 	}
-	switch *format {
-	case "tree":
-		fmt.Print(trace.Tree(sch))
-		fmt.Printf("RT=%d DT=%d layered=%v\n", model.RT(sch), model.DT(sch), model.IsLayered(sch))
-	case "gantt":
-		fmt.Print(trace.Gantt(sch, *width))
-	case "svg":
-		fmt.Print(trace.SVG(sch))
-	case "dot":
-		fmt.Print(trace.DOT(sch))
+	fmt.Print(out)
+}
+
+// formatSchedule renders sch in the requested format. The model-aware
+// formats (json, rt) work under any bound cost model; everything else
+// draws base-model timings, so a non-base binding is rejected up front
+// instead of panicking inside requireBase. Keeping the guard inside the
+// same function as the base-only calls is what hnowlint's modelbound
+// analyzer checks for.
+func formatSchedule(sch *model.Schedule, format string, width int) (string, error) {
+	switch format {
 	case "json":
 		out, err := trace.MarshalJSON(sch)
 		if err != nil {
-			fail(err)
+			return "", err
 		}
-		os.Stdout.Write(append(out, '\n'))
+		return string(out) + "\n", nil
 	case "rt":
 		var tm model.Times
 		if err := model.EvalTimes(sch, &tm); err != nil {
-			fail(err)
+			return "", err
 		}
-		fmt.Println(tm.RT)
+		return fmt.Sprintf("%d\n", tm.RT), nil
+	}
+	if !model.IsBase(sch.Model()) {
+		return "", fmt.Errorf("format %q draws base-model timings; under -model %s use json or rt", format, sch.Model().Name())
+	}
+	switch format {
+	case "tree":
+		return trace.Tree(sch) + fmt.Sprintf("RT=%d DT=%d layered=%v\n", model.RT(sch), model.DT(sch), model.IsLayered(sch)), nil
+	case "gantt":
+		return trace.Gantt(sch, width), nil
+	case "svg":
+		return trace.SVG(sch), nil
+	case "dot":
+		return trace.DOT(sch), nil
 	default:
-		fail(fmt.Errorf("unknown format %q", *format))
+		return "", fmt.Errorf("unknown format %q (want tree, gantt, svg, dot, json, rt)", format)
 	}
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func testSchedule(t *testing.T) *model.Schedule {
+	t.Helper()
+	fast := model.Node{Send: 1, Recv: 1, Name: "fast"}
+	slow := model.Node{Send: 2, Recv: 3, Name: "slow"}
+	set, err := model.NewMulticastSet(1, slow, fast, fast, slow)
+	if err != nil {
+		t.Fatalf("NewMulticastSet: %v", err)
+	}
+	sch, err := core.Schedule(set)
+	if err != nil {
+		t.Fatalf("core.Schedule: %v", err)
+	}
+	return sch
+}
+
+func TestFormatScheduleBase(t *testing.T) {
+	sch := testSchedule(t)
+	for _, format := range []string{"tree", "gantt", "svg", "dot", "json", "rt"} {
+		out, err := formatSchedule(sch, format, 80)
+		if err != nil {
+			t.Errorf("formatSchedule(%q): %v", format, err)
+			continue
+		}
+		if out == "" {
+			t.Errorf("formatSchedule(%q): empty output", format)
+		}
+	}
+	if _, err := formatSchedule(sch, "nope", 80); err == nil {
+		t.Error("formatSchedule accepted an unknown format")
+	}
+}
+
+// TestFormatScheduleModelBound is the regression test for the PR 8 class
+// of bug hnowlint's modelbound analyzer guards: a schedule bound to a
+// non-base cost model must never reach the base-only renderers (which
+// would either panic in requireBase or silently report LAN-floor
+// timings). The model-aware formats must keep working.
+func TestFormatScheduleModelBound(t *testing.T) {
+	sch := testSchedule(t)
+	n := len(sch.Set.Nodes)
+	lat := make([][]int64, n)
+	for i := range lat {
+		lat[i] = make([]int64, n)
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] = 40
+			}
+		}
+	}
+	sch.BindModel(&model.LinkModel{Lat: lat})
+
+	for _, format := range []string{"tree", "gantt", "svg", "dot"} {
+		out, err := formatSchedule(sch, format, 80)
+		if err == nil {
+			t.Errorf("formatSchedule(%q) rendered a wan-bound schedule with base timings:\n%s", format, out)
+			continue
+		}
+		if !strings.Contains(err.Error(), "base-model timings") {
+			t.Errorf("formatSchedule(%q): unexpected error %v", format, err)
+		}
+	}
+	for _, format := range []string{"json", "rt"} {
+		if _, err := formatSchedule(sch, format, 80); err != nil {
+			t.Errorf("formatSchedule(%q) under wan model: %v", format, err)
+		}
+	}
+}

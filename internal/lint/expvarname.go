@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// expvar constructors whose first argument is the published key.
+var expvarRegisters = map[string]bool{
+	"expvar.NewInt":    true,
+	"expvar.NewFloat":  true,
+	"expvar.NewMap":    true,
+	"expvar.NewString": true,
+	"expvar.Publish":   true,
+}
+
+// expvarKeyPattern is the repo convention: a `hnowd.` (service) or
+// `batch.` (engine-pool) prefix followed by dotted lower_snake segments.
+var expvarKeyPattern = regexp.MustCompile(`^(hnowd|batch)\.[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// ExpvarName returns the analyzer enforcing the expvar key convention:
+// every key registered anywhere in the module matches
+// hnowd.*/batch.*, is a compile-time constant (so dashboards can grep
+// for it), and is globally unique (expvar.Publish panics on duplicates,
+// but only on the first process that happens to reach both call sites).
+func ExpvarName() *Analyzer {
+	type use struct {
+		key string
+		pos token.Position
+	}
+	var uses []use
+	a := &Analyzer{
+		Name: "expvarname",
+		Doc:  "expvar key violates the hnowd.*/batch.* naming convention or collides with another key",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				full := calleeFullName(pass.Info, call)
+				if !expvarRegisters[full] || len(call.Args) == 0 {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(call.Pos(), "%s key is not a compile-time constant; use a literal or const so the key is greppable", shortName(full))
+					return true
+				}
+				key := constant.StringVal(tv.Value)
+				if !expvarKeyPattern.MatchString(key) {
+					pass.Reportf(call.Pos(), "expvar key %q does not match the hnowd.*/batch.* convention (lower_snake segments joined by dots)", key)
+				}
+				uses = append(uses, use{key: key, pos: pass.Fset.Position(call.Pos())})
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(report func(Finding)) error {
+		first := map[string]token.Position{}
+		for _, u := range uses {
+			if prev, ok := first[u.key]; ok {
+				report(Finding{
+					Analyzer: a.Name,
+					Pos:      u.pos,
+					Message:  fmt.Sprintf("expvar key %q already registered at %s; expvar.Publish panics on the duplicate", u.key, prev),
+				})
+				continue
+			}
+			first[u.key] = u.pos
+		}
+		return nil
+	}
+	return a
+}

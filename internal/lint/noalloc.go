@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// noallocDirective marks a function whose body must not allocate: the
+// engine/kernel hot paths that PR 5 and PR 7 made alloc-free. The claim
+// is verified against the compiler's own escape analysis (-gcflags=-m),
+// not by source inspection — see EscapeCheck.
+const noallocDirective = "hnow:noalloc"
+
+// NoallocFunc is one annotated function's source extent.
+type NoallocFunc struct {
+	PkgPath string
+	Name    string // display name, e.g. "(*Engine).EvalMoves"
+	File    string // path as recorded in the file set
+	Start   int    // first line of the declaration
+	End     int    // last line of the body
+}
+
+// Noalloc returns the source half of the no-allocation check: it
+// validates that every //hnow:noalloc directive sits in the doc comment
+// of a function with a body (anywhere else it silently does nothing,
+// which is worse than an error) and, when collect is non-nil, records
+// each annotated function for EscapeCheck. The compiler-backed half
+// cannot run per-package here because it needs a full `go build
+// -gcflags=-m` pass; the driver runs it separately.
+func Noalloc(collect *[]NoallocFunc) *Analyzer {
+	a := &Analyzer{
+		Name: "noalloc",
+		Doc:  "//hnow:noalloc directive misplaced (must be a doc-comment line of a function with a body)",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			valid := map[*ast.CommentGroup]bool{}
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil || !hasDirective(fn.Doc, noallocDirective) {
+					continue
+				}
+				valid[fn.Doc] = true
+				if fn.Body == nil {
+					pass.Reportf(fn.Pos(), "//hnow:noalloc on %s, which has no body to check", fn.Name.Name)
+					continue
+				}
+				if collect != nil {
+					*collect = append(*collect, NoallocFunc{
+						PkgPath: pass.Pkg.Path(),
+						Name:    funcDisplayName(fn),
+						File:    pass.Fset.Position(fn.Pos()).Filename,
+						Start:   pass.Fset.Position(fn.Pos()).Line,
+						End:     pass.Fset.Position(fn.Body.End()).Line,
+					})
+				}
+			}
+			for _, cg := range file.Comments {
+				if valid[cg] || !hasDirective(cg, noallocDirective) {
+					continue
+				}
+				for _, c := range cg.List {
+					if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == noallocDirective {
+						pass.Reportf(c.Pos(), "//hnow:noalloc has no effect here; it must be part of a function's doc comment")
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// funcDisplayName renders a FuncDecl name with its receiver, matching
+// how readers of the allowlist will look it up.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	var buf bytes.Buffer
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			fmt.Fprintf(&buf, "(*%s)", id.Name)
+		}
+	case *ast.Ident:
+		fmt.Fprintf(&buf, "(%s)", t.Name)
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		buf.WriteString("(generic)")
+	}
+	if buf.Len() == 0 {
+		return fn.Name.Name
+	}
+	return buf.String() + "." + fn.Name.Name
+}
+
+// escapeLine matches one compiler diagnostic from -gcflags=-m output.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// CollectNoalloc gathers the //hnow:noalloc-annotated functions from
+// loaded packages without reporting anything.
+func CollectNoalloc(pkgs []*Package) []NoallocFunc {
+	var funcs []NoallocFunc
+	a := Noalloc(&funcs)
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, Info: pkg.Info,
+			ignores: pkg.ignores, report: func(Finding) {},
+		}
+		if err := a.Run(pass); err != nil {
+			// Run never returns an error today; keep the signature honest.
+			panic(err)
+		}
+	}
+	return funcs
+}
+
+// EscapeCheck is the compiler-backed half of noalloc: it rebuilds the
+// packages containing annotated functions with -gcflags=-m, keeps every
+// "escapes to heap" / "moved to heap" diagnostic that falls inside an
+// annotated function, and diffs the result against the committed
+// allowlist (mirroring the BCE guard's bce_allowlist.txt). Both
+// directions fail: a fresh escape not in the allowlist is a hot-path
+// regression, and a stale allowlist entry means the list no longer
+// reflects reality. With write set, the fresh output replaces the
+// allowlist instead.
+func EscapeCheck(moduleDir string, pkgs []*Package, allowlistPath string, write bool) ([]Finding, error) {
+	// The fset records absolute paths (go list reports absolute package
+	// dirs); compiler output is relative to the build dir. Absolutize the
+	// module dir so the two join up.
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	moduleDir = abs
+	funcs := CollectNoalloc(pkgs)
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("lint: no //hnow:noalloc functions in the loaded packages; nothing to check")
+	}
+	pathSet := map[string]bool{}
+	for _, f := range funcs {
+		pathSet[f.PkgPath] = true
+	}
+	paths := make([]string, 0, len(pathSet))
+	for p := range pathSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// -a defeats the build cache: a cached package produces no -m output,
+	// which would read as "no allocations". Same trick as the BCE guard.
+	args := append([]string{"build", "-a", "-o", os.DevNull, "-gcflags=-m"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	fresh := escapesInFuncs(moduleDir, stderr.String(), funcs)
+
+	if write {
+		var buf bytes.Buffer
+		buf.WriteString("# Heap allocations the //hnow:noalloc functions are allowed to make.\n")
+		buf.WriteString("# Regenerate with: go run ./cmd/hnowlint -escape-only -write-allowlist ./...\n")
+		for _, l := range fresh {
+			buf.WriteString(l)
+			buf.WriteByte('\n')
+		}
+		return nil, os.WriteFile(allowlistPath, buf.Bytes(), 0o644)
+	}
+
+	allowed, err := readAllowlist(allowlistPath)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	allowSet := map[string]bool{}
+	for _, l := range allowed {
+		allowSet[l.text] = true
+	}
+	freshSet := map[string]bool{}
+	for _, l := range fresh {
+		freshSet[l] = true
+		if allowSet[l] {
+			continue
+		}
+		pos, msg, name := splitEscapeLine(l, funcs, moduleDir)
+		findings = append(findings, Finding{
+			Analyzer: "noalloc",
+			Pos:      pos,
+			Message:  fmt.Sprintf("new heap allocation in //hnow:noalloc function %s: %s (fix it, or add to %s via -write-allowlist)", name, msg, filepath.Base(allowlistPath)),
+		})
+	}
+	for _, l := range allowed {
+		if !freshSet[l.text] {
+			findings = append(findings, Finding{
+				Analyzer: "noalloc",
+				Pos:      token.Position{Filename: allowlistPath, Line: l.line},
+				Message:  fmt.Sprintf("stale escape allowlist entry %q no longer produced by the compiler; remove it or regenerate with -write-allowlist", l.text),
+			})
+		}
+	}
+	return findings, nil
+}
+
+// escapesInFuncs extracts, from raw -gcflags=-m output, the sorted,
+// deduplicated canonical lines ("relpath:line:col: message") for heap
+// allocations inside annotated functions.
+func escapesInFuncs(moduleDir, raw string, funcs []NoallocFunc) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(raw, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, f := range funcs {
+			if file == f.File && lineNo >= f.Start && lineNo <= f.End {
+				rel, err := filepath.Rel(moduleDir, file)
+				if err != nil {
+					rel = file
+				}
+				canonical := fmt.Sprintf("%s:%s:%s: %s", filepath.ToSlash(rel), m[2], m[3], msg)
+				if !seen[canonical] {
+					seen[canonical] = true
+					out = append(out, canonical)
+				}
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+type allowEntry struct {
+	text string
+	line int
+}
+
+// readAllowlist loads the committed allowlist; a missing file is an
+// empty list, '#' lines and blanks are skipped.
+func readAllowlist(path string) ([]allowEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var out []allowEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, allowEntry{text: line, line: i + 1})
+	}
+	return out, nil
+}
+
+// splitEscapeLine recovers a token.Position and the enclosing annotated
+// function's name from a canonical escape line.
+func splitEscapeLine(l string, funcs []NoallocFunc, moduleDir string) (token.Position, string, string) {
+	m := escapeLine.FindStringSubmatch(l)
+	if m == nil {
+		return token.Position{Filename: l}, l, "?"
+	}
+	lineNo, _ := strconv.Atoi(m[2])
+	col, _ := strconv.Atoi(m[3])
+	pos := token.Position{Filename: m[1], Line: lineNo, Column: col}
+	abs := m[1]
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(moduleDir, filepath.FromSlash(abs))
+	}
+	name := "?"
+	for _, f := range funcs {
+		if abs == f.File && lineNo >= f.Start && lineNo <= f.End {
+			name = f.Name
+			break
+		}
+	}
+	return pos, m[4], name
+}

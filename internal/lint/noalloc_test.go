@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// canned -gcflags=-m output: two allocations inside the annotated range,
+// one outside it, one non-allocation diagnostic inside, and compiler
+// noise that must all be ignored.
+const cannedEscapes = `# repro/internal/model
+internal/model/engine.go:390:20: fmt.Sprintf(...) escapes to heap
+internal/model/engine.go:391:30: moved to heap: scratch
+internal/model/engine.go:10:5: make([]int64, n) escapes to heap
+internal/model/engine.go:392:9: leaking param: e does not escape
+internal/model/engine.go:395:2: inlining call to kernFill
+not a diagnostic line
+`
+
+func cannedFuncs(moduleDir string) []NoallocFunc {
+	return []NoallocFunc{{
+		PkgPath: "repro/internal/model",
+		Name:    "(*Engine).EvalMoves",
+		File:    filepath.Join(moduleDir, "internal/model/engine.go"),
+		Start:   388,
+		End:     399,
+	}}
+}
+
+func TestEscapesInFuncs(t *testing.T) {
+	moduleDir := "/mod"
+	got := escapesInFuncs(moduleDir, cannedEscapes, cannedFuncs(moduleDir))
+	want := []string{
+		"internal/model/engine.go:390:20: fmt.Sprintf(...) escapes to heap",
+		"internal/model/engine.go:391:30: moved to heap: scratch",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("escapesInFuncs = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEscapesInFuncsDedupes(t *testing.T) {
+	raw := strings.Repeat("internal/model/engine.go:390:20: x escapes to heap\n", 3)
+	got := escapesInFuncs("/mod", raw, cannedFuncs("/mod"))
+	if len(got) != 1 {
+		t.Fatalf("duplicated diagnostics must collapse to one allowlist line, got %q", got)
+	}
+}
+
+func TestSplitEscapeLine(t *testing.T) {
+	funcs := cannedFuncs("/mod")
+	pos, msg, name := splitEscapeLine("internal/model/engine.go:390:20: fmt.Sprintf(...) escapes to heap", funcs, "/mod")
+	if pos.Filename != "internal/model/engine.go" || pos.Line != 390 || pos.Column != 20 {
+		t.Errorf("pos = %v", pos)
+	}
+	if msg != "fmt.Sprintf(...) escapes to heap" {
+		t.Errorf("msg = %q", msg)
+	}
+	if name != "(*Engine).EvalMoves" {
+		t.Errorf("name = %q, want the enclosing annotated function", name)
+	}
+}
+
+func TestReadAllowlist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow.txt")
+	content := "# header\n\nfile.go:1:2: x escapes to heap\n# comment\nfile.go:3:4: y escapes to heap\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].text != "file.go:1:2: x escapes to heap" || got[1].line != 5 {
+		t.Fatalf("readAllowlist = %+v", got)
+	}
+	if missing, err := readAllowlist(filepath.Join(t.TempDir(), "nope.txt")); err != nil || missing != nil {
+		t.Fatalf("missing allowlist should read as empty, got %+v, %v", missing, err)
+	}
+}
+
+// TestEscapeAllowlistMatchesFuncs sanity-checks the committed allowlist:
+// every entry must point inside a currently annotated function, so a
+// refactor that moves or de-annotates a hot path cannot leave the list
+// silently vouching for nothing. (CI additionally diffs against fresh
+// compiler output, which this test deliberately does not run.)
+func TestEscapeAllowlistMatchesFuncs(t *testing.T) {
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow, err := readAllowlist(filepath.Join(moduleDir, ".github", "escape_allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allow) == 0 {
+		t.Skip("empty allowlist: nothing to cross-check")
+	}
+	pkgs, err := Load(moduleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := CollectNoalloc(pkgs)
+	if len(funcs) == 0 {
+		t.Fatal("allowlist is non-empty but no //hnow:noalloc functions exist")
+	}
+	for _, entry := range allow {
+		_, _, name := splitEscapeLine(entry.text, funcs, moduleDir)
+		if name == "?" {
+			t.Errorf("allowlist entry %q is not inside any //hnow:noalloc function; regenerate with -write-allowlist", entry.text)
+		}
+	}
+}

@@ -1,0 +1,750 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The acquire/release pairs the analyzer tracks. Retain/Release guard
+// the refcounted mmap-table lifecycle (a missed Release defers an unmap
+// forever); Get/Put guard the byte-budgeted engine pool (a missed Put
+// only costs reuse, but a missed Get pairing usually means the error
+// path was forgotten).
+const (
+	tableRetain  = "(*repro/internal/exact.Table).Retain"
+	tableRelease = "(*repro/internal/exact.Table).Release"
+	poolGet      = "(*repro/internal/batch.EnginePool).Get"
+	poolPut      = "(*repro/internal/batch.EnginePool).Put"
+)
+
+// borrowDirective is the annotation marking functions whose first
+// *exact.Table (or *model.BatchEngine) result is handed to the caller
+// borrowed: the caller must Release/Put it (or pass it on) on every
+// path. The tableCache accessors in internal/service carry it.
+const borrowDirective = "hnow:borrows"
+
+// borrowSig describes one annotated function's results.
+type borrowSig struct {
+	resultIdx int    // index of the borrowed result
+	release   string // "Release" or "Put"
+	what      string
+	condIdx   int  // index of the gating result (ok bool or error), -1 = none
+	condErr   bool // gating result is an error (borrow valid iff nil)
+}
+
+// pairOblig is one outstanding acquisition on the current path.
+type pairOblig struct {
+	what     string // e.g. "exact.Table borrow t.Retain()"
+	release  string // method that discharges it
+	pos      token.Pos
+	holders  []holder     // expressions that refer to the acquired value
+	condObj  types.Object // ok/err result gating the acquisition; nil = unconditional
+	condErr  bool
+	reported bool
+	fromBody bool // acquired inside the loop body being walked
+}
+
+// holder identifies the acquired value: by object for plain locals, by
+// rendered expression otherwise (e.g. "e.table").
+type holder struct {
+	obj  types.Object
+	expr string
+}
+
+// Pairing returns the flow-sensitive analyzer checking that every
+// exact.Table.Retain has a matching Release, every batch.EnginePool.Get
+// a matching Put, and every borrowed result of an //hnow:borrows
+// function a matching Release/Put, on every path out of the enclosing
+// function — error returns included. A defer counts as paired from the
+// point it is registered; transferring the value onward (returning it,
+// storing it in a struct, slice or map, passing it to another function)
+// transfers the obligation with it and ends local tracking.
+//
+// The analysis is intra-procedural; cross-function borrows are covered
+// by annotating the lending function with //hnow:borrows in its doc
+// comment (see internal/service/table.go for the canonical uses).
+func Pairing() *Analyzer {
+	a := &Analyzer{
+		Name: "pairing",
+		Doc:  "Retain/Release, Get/Put or //hnow:borrows obligation unmatched on some path out of the function",
+	}
+	a.Run = func(pass *Pass) error {
+		w := &pairWalker{pass: pass, borrows: collectBorrows(pass)}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						w.fname = fn.Name.Name
+						st, term := w.walkStmts(fn.Body.List, nil)
+						if !term {
+							w.checkExit(st, fn.Body.End())
+						}
+					}
+					return true // descend: nested FuncLits get their own walk
+				case *ast.FuncLit:
+					w.fname = "func literal"
+					st, term := w.walkStmts(fn.Body.List, nil)
+					if !term {
+						w.checkExit(st, fn.Body.End())
+					}
+					return true
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// collectBorrows finds //hnow:borrows-annotated functions in the package
+// and derives each one's borrow signature from its type. Misplaced
+// annotations are reported.
+func collectBorrows(pass *Pass) map[string]borrowSig {
+	out := map[string]borrowSig{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || !hasDirective(fn.Doc, borrowDirective) {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			bs := borrowSig{resultIdx: -1, condIdx: -1}
+			res := sig.Results()
+			for i := 0; i < res.Len(); i++ {
+				switch types.TypeString(res.At(i).Type(), nil) {
+				case "*repro/internal/exact.Table":
+					if bs.resultIdx == -1 {
+						bs.resultIdx, bs.release, bs.what = i, "Release", "exact.Table borrow"
+					}
+				case "*repro/internal/model.BatchEngine":
+					if bs.resultIdx == -1 {
+						bs.resultIdx, bs.release, bs.what = i, "Put", "batch engine"
+					}
+				}
+			}
+			if bs.resultIdx == -1 {
+				pass.Reportf(fn.Pos(), "//hnow:borrows on %s, which returns no *exact.Table or *model.BatchEngine", fn.Name.Name)
+				continue
+			}
+			// The last bool or error result gates whether the borrow exists.
+			for i := res.Len() - 1; i >= 0; i-- {
+				ts := types.TypeString(res.At(i).Type(), nil)
+				if ts == "error" {
+					bs.condIdx, bs.condErr = i, true
+					break
+				}
+				if ts == "bool" {
+					bs.condIdx, bs.condErr = i, false
+					break
+				}
+			}
+			out[obj.FullName()] = bs
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment contains the given
+// //hnow:... directive as a line of its own.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+type pairWalker struct {
+	pass    *Pass
+	borrows map[string]borrowSig
+	fname   string
+}
+
+// checkExit reports every outstanding obligation when a path leaves the
+// function at exitPos.
+func (w *pairWalker) checkExit(st []*pairOblig, exitPos token.Pos) {
+	for _, ob := range st {
+		if ob.reported {
+			continue
+		}
+		ob.reported = true
+		exit := w.pass.Fset.Position(exitPos)
+		w.pass.Reportf(ob.pos, "%s is not matched by %s on every path out of %s (unreleased at line %d); defer the %s or release on the error path",
+			ob.what, ob.release, w.fname, exit.Line, ob.release)
+	}
+}
+
+// walkStmts interprets a statement list against the incoming obligation
+// state, returning the fall-through state and whether every path through
+// the list terminates (returns, branches away, or panics).
+func (w *pairWalker) walkStmts(list []ast.Stmt, st []*pairOblig) ([]*pairOblig, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return nil, true
+		}
+	}
+	return st, false
+}
+
+func (w *pairWalker) walkStmt(s ast.Stmt, st []*pairOblig) ([]*pairOblig, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.escapeUses(r, st)
+		}
+		w.checkExit(st, s.Pos())
+		return nil, true
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO {
+			w.checkExit(st, s.Pos())
+			return nil, true
+		}
+		return st, false // fallthrough
+	case *ast.DeferStmt:
+		// A registered defer discharges from here to every later exit.
+		return w.dischargeIn(s.Call, st), false
+	case *ast.GoStmt:
+		st = w.dischargeIn(s.Call, st)
+		return w.escapeUsesIn(s.Call, st), false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			var term bool
+			st, term = w.walkStmt(s.Init, st)
+			if term {
+				return nil, true
+			}
+		}
+		st = w.scanSimple(s.Cond, st)
+		thenSt := refineState(w.pass.Info, st, s.Cond, true)
+		elseSt := refineState(w.pass.Info, st, s.Cond, false)
+		thenOut, thenTerm := w.walkStmts(s.Body.List, thenSt)
+		var elseOut []*pairOblig
+		elseTerm := false
+		if s.Else != nil {
+			elseOut, elseTerm = w.walkStmt(s.Else, elseSt)
+		} else {
+			elseOut = elseSt
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return nil, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return unionStates(thenOut, elseOut), false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			var term bool
+			st, term = w.walkStmt(s.Init, st)
+			if term {
+				return nil, true
+			}
+		}
+		return w.walkLoopBody(s.Body, st)
+	case *ast.RangeStmt:
+		st = w.scanSimple(s.X, st)
+		return w.walkLoopBody(s.Body, st)
+	default:
+		return w.scanSimpleStmt(s, st)
+	}
+}
+
+// walkLoopBody analyzes a loop body once. Obligations acquired inside
+// the body must be discharged inside it (otherwise every iteration
+// leaks); obligations from outside survive the loop with any in-body
+// discharges honored.
+func (w *pairWalker) walkLoopBody(body *ast.BlockStmt, st []*pairOblig) ([]*pairOblig, bool) {
+	entry := make([]*pairOblig, len(st))
+	copy(entry, st)
+	for _, ob := range entry {
+		ob.fromBody = false
+	}
+	out, term := w.walkStmts(body.List, markBodyNew(entry))
+	if term {
+		// Every path through the body leaves the function; the loop runs
+		// its body at most once on any path that continues.
+		return st, false
+	}
+	var kept []*pairOblig
+	for _, ob := range out {
+		if ob.fromBody {
+			if !ob.reported {
+				ob.reported = true
+				w.pass.Reportf(ob.pos, "%s acquired inside a loop is not matched by %s before the iteration ends in %s; every iteration leaks one",
+					ob.what, ob.release, w.fname)
+			}
+			continue
+		}
+		kept = append(kept, ob)
+	}
+	return kept, false
+}
+
+// markBodyNew tags the incoming state so walkLoopBody can tell loop-local
+// acquisitions (added during the body walk, fromBody left true by
+// newObligation) from prior ones.
+func markBodyNew(st []*pairOblig) []*pairOblig {
+	return st
+}
+
+// walkClauses handles switch/type-switch/select: every clause is walked
+// from the incoming state and the fall-through result is the union of
+// the non-terminating clauses.
+func (w *pairWalker) walkClauses(s ast.Stmt, st []*pairOblig) ([]*pairOblig, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			var term bool
+			st, term = w.walkStmt(s.Init, st)
+			if term {
+				return nil, true
+			}
+		}
+		if s.Tag != nil {
+			st = w.scanSimple(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			var term bool
+			st, term = w.walkStmt(s.Init, st)
+			if term {
+				return nil, true
+			}
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = true // select blocks until one clause runs
+	}
+	var out []*pairOblig
+	anyFallthrough := false
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		clSt := cloneState(st)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				if commSt, term := w.walkStmt(cl.Comm, clSt); !term {
+					clSt = commSt
+				}
+			}
+			stmts = cl.Body
+		}
+		clSt, term := w.walkStmts(stmts, clSt)
+		if !term {
+			allTerm = false
+			anyFallthrough = true
+			out = unionStates(out, clSt)
+		}
+	}
+	if len(body.List) == 0 {
+		return st, false
+	}
+	if allTerm && hasDefault {
+		return nil, true
+	}
+	if !anyFallthrough {
+		// Every written clause terminates but execution may skip them all.
+		return st, false
+	}
+	return unionStates(out, st), false
+}
+
+// scanSimpleStmt processes a non-control statement: defers none, but
+// scans for acquisitions, discharges and escapes in source order.
+func (w *pairWalker) scanSimpleStmt(s ast.Stmt, st []*pairOblig) ([]*pairOblig, bool) {
+	if as, ok := s.(*ast.AssignStmt); ok {
+		return w.walkAssign(as, st), false
+	}
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && w.pass.Info.Uses[id] == nil {
+				// panic(...): only deferred releases run; defers are already
+				// credited, so the path ends without further checks.
+				return nil, true
+			}
+			if sig, ok := w.borrows[calleeFullName(w.pass.Info, call)]; ok {
+				st = w.scanSimple(es.X, st)
+				ob := w.newObligation(sig.what+" from "+callName(call), sig.release, call.Pos(), nil)
+				st = append(st, ob)
+				return st, false
+			}
+			if calleeFullName(w.pass.Info, call) == poolGet {
+				st = w.scanSimple(es.X, st)
+				st = append(st, w.newObligation("batch engine from "+callName(call), "Put", call.Pos(), nil))
+				return st, false
+			}
+		}
+	}
+	return w.scanSimple(s, st), false
+}
+
+// walkAssign handles acquisitions whose value lands in a variable, plus
+// aliasing and escapes through ordinary assignment.
+func (w *pairWalker) walkAssign(as *ast.AssignStmt, st []*pairOblig) []*pairOblig {
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			full := calleeFullName(w.pass.Info, call)
+			var sig *borrowSig
+			if s, ok := w.borrows[full]; ok {
+				sig = &s
+			} else if full == poolGet {
+				sig = &borrowSig{resultIdx: 0, release: "Put", what: "batch engine", condIdx: -1}
+			}
+			if sig != nil {
+				// Scan the call's arguments first (escapes into the call).
+				st = w.scanSimple(call, st)
+				var h []holder
+				if sig.resultIdx < len(as.Lhs) {
+					h = holderFor(w.pass.Info, as.Lhs[sig.resultIdx])
+				}
+				if h == nil {
+					// Result stored into a field/index: ownership moved to a
+					// longer-lived structure; tracking ends here.
+					return st
+				}
+				ob := w.newObligation(sig.what+" from "+callName(call), sig.release, call.Pos(), h)
+				if sig.condIdx >= 0 && sig.condIdx < len(as.Lhs) {
+					if obj := identObject(w.pass.Info, as.Lhs[sig.condIdx]); obj != nil && obj.Name() != "_" {
+						ob.condObj, ob.condErr = obj, sig.condErr
+					}
+				}
+				return append(st, ob)
+			}
+		}
+	}
+	// Aliasing and escapes: an obligation's value copied to a plain local
+	// is an alias; copied anywhere else (field, index, map) it escapes.
+	for i, rhs := range as.Rhs {
+		st = w.scanCallsIn(rhs, st)
+		for _, ob := range st {
+			if !matchesHolder(w.pass.Info, ob, rhs) {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if h := holderFor(w.pass.Info, as.Lhs[i]); h != nil {
+					ob.holders = append(ob.holders, h...)
+					continue
+				}
+			}
+			st = removeOblig(st, ob)
+		}
+	}
+	// Re-point: assigning an unrelated value over a holder's variable.
+	return st
+}
+
+// scanSimple walks a node (skipping function literal interiors), applying
+// acquisitions without assignment, discharges and escapes in order.
+func (w *pairWalker) scanSimple(n ast.Node, st []*pairOblig) []*pairOblig {
+	if n == nil {
+		return st
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		full := calleeFullName(w.pass.Info, call)
+		switch full {
+		case tableRetain:
+			h := holderFor(w.pass.Info, receiverExpr(call))
+			if h == nil {
+				h = []holder{{expr: renderExpr(receiverExpr(call))}}
+			}
+			st = append(st, w.newObligation("exact.Table borrow "+callName(call), "Release", call.Pos(), h))
+			return false
+		case tableRelease:
+			st = w.dischargeHolder(receiverExpr(call), "Release", st)
+			return false
+		case poolPut:
+			if len(call.Args) > 0 {
+				st = w.dischargeHolder(call.Args[0], "Put", st)
+			}
+			return false
+		}
+		// Any other call consuming a tracked value transfers its
+		// obligation to the callee.
+		for _, arg := range call.Args {
+			for _, ob := range st {
+				if matchesHolder(w.pass.Info, ob, arg) {
+					st = removeOblig(st, ob)
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// scanCallsIn is scanSimple restricted to call handling; used where the
+// surrounding construct does its own alias/escape bookkeeping.
+func (w *pairWalker) scanCallsIn(n ast.Node, st []*pairOblig) []*pairOblig {
+	return w.scanSimple(n, st)
+}
+
+// dischargeIn credits Release/Put calls appearing anywhere in a deferred
+// or spawned call (including closure bodies — "panically-deferred paths"
+// count as paired).
+func (w *pairWalker) dischargeIn(call *ast.CallExpr, st []*pairOblig) []*pairOblig {
+	ast.Inspect(call, func(node ast.Node) bool {
+		c, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeFullName(w.pass.Info, c) {
+		case tableRelease:
+			st = w.dischargeHolder(receiverExpr(c), "Release", st)
+		case poolPut:
+			if len(c.Args) > 0 {
+				st = w.dischargeHolder(c.Args[0], "Put", st)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// escapeUses drops obligations whose value is consumed by e (returned,
+// stored, passed on): ownership moved with the value.
+func (w *pairWalker) escapeUses(e ast.Expr, st []*pairOblig) []*pairOblig {
+	for _, ob := range st {
+		if matchesHolder(w.pass.Info, ob, e) || mentionsHolder(w.pass.Info, ob, e) {
+			st = removeOblig(st, ob)
+		}
+	}
+	return st
+}
+
+func (w *pairWalker) escapeUsesIn(call *ast.CallExpr, st []*pairOblig) []*pairOblig {
+	for _, ob := range st {
+		if mentionsHolder(w.pass.Info, ob, call) {
+			st = removeOblig(st, ob)
+		}
+	}
+	return st
+}
+
+func (w *pairWalker) dischargeHolder(e ast.Expr, release string, st []*pairOblig) []*pairOblig {
+	for _, ob := range st {
+		if ob.release == release && matchesHolder(w.pass.Info, ob, e) {
+			st = removeOblig(st, ob)
+		}
+	}
+	return st
+}
+
+func (w *pairWalker) newObligation(what, release string, pos token.Pos, h []holder) *pairOblig {
+	return &pairOblig{what: what, release: release, pos: pos, holders: h, fromBody: true}
+}
+
+// refineState applies an if condition to the obligation state: `ok` /
+// `err == nil` branches keep gated borrows (now unconditional), `!ok` /
+// `err != nil` branches drop them (the borrow never happened).
+func refineState(info *types.Info, st []*pairOblig, cond ast.Expr, thenBranch bool) []*pairOblig {
+	out := cloneState(st)
+	holds, obj := condOutcome(info, cond, thenBranch)
+	if obj == nil {
+		return out
+	}
+	var kept []*pairOblig
+	for _, ob := range out {
+		// On the branch where the gate fails the borrow was never taken:
+		// drop it. Where it holds the obligation simply stays live (it is
+		// checked at exits regardless of its gate), so no state change —
+		// and no mutation of the obligation, which the sibling branch's
+		// state still shares.
+		if ob.condObj == obj && !holds {
+			continue
+		}
+		kept = append(kept, ob)
+	}
+	return kept
+}
+
+// condOutcome decodes the four idiomatic guards. It returns the gating
+// object and whether, on the given branch, the gated borrow exists.
+// ok / err==nil => borrow exists in then; !ok / err!=nil => borrow
+// missing in then.
+func condOutcome(info *types.Info, cond ast.Expr, thenBranch bool) (holds bool, obj types.Object) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.Ident: // if ok
+		if o := info.Uses[c]; o != nil && types.TypeString(o.Type(), nil) == "bool" {
+			return thenBranch, o
+		}
+	case *ast.UnaryExpr: // if !ok
+		if c.Op == token.NOT {
+			if id, ok := ast.Unparen(c.X).(*ast.Ident); ok {
+				if o := info.Uses[id]; o != nil {
+					return !thenBranch, o
+				}
+			}
+		}
+	case *ast.BinaryExpr: // if err != nil / err == nil
+		if c.Op != token.NEQ && c.Op != token.EQL {
+			return false, nil
+		}
+		x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+		var id *ast.Ident
+		if xi, ok := x.(*ast.Ident); ok && isNilIdent(info, y) {
+			id = xi
+		} else if yi, ok := y.(*ast.Ident); ok && isNilIdent(info, x) {
+			id = yi
+		}
+		if id == nil {
+			return false, nil
+		}
+		o := info.Uses[id]
+		if o == nil {
+			return false, nil
+		}
+		// err == nil: borrow exists in then; err != nil: missing in then.
+		if c.Op == token.EQL {
+			return thenBranch, o
+		}
+		return !thenBranch, o
+	}
+	return false, nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	return isNilLiteral(info, e)
+}
+
+// --- state helpers ---
+
+func cloneState(st []*pairOblig) []*pairOblig {
+	out := make([]*pairOblig, len(st))
+	copy(out, st)
+	return out
+}
+
+func unionStates(a, b []*pairOblig) []*pairOblig {
+	seen := map[*pairOblig]bool{}
+	var out []*pairOblig
+	for _, ob := range a {
+		if !seen[ob] {
+			seen[ob] = true
+			out = append(out, ob)
+		}
+	}
+	for _, ob := range b {
+		if !seen[ob] {
+			seen[ob] = true
+			out = append(out, ob)
+		}
+	}
+	return out
+}
+
+func removeOblig(st []*pairOblig, ob *pairOblig) []*pairOblig {
+	out := st[:0:0]
+	for _, o := range st {
+		if o != ob {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// holderFor builds the holder set for an assignment target or receiver:
+// plain identifiers are tracked by object, anything else is untrackable
+// here (nil), letting callers decide between escape and string tracking.
+func holderFor(info *types.Info, e ast.Expr) []holder {
+	if e == nil {
+		return nil
+	}
+	if obj := identObject(info, e); obj != nil {
+		if obj.Name() == "_" {
+			return nil
+		}
+		return []holder{{obj: obj, expr: obj.Name()}}
+	}
+	return nil
+}
+
+// matchesHolder reports whether e is exactly one of the obligation's
+// holders.
+func matchesHolder(info *types.Info, ob *pairOblig, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	for _, h := range ob.holders {
+		if h.obj != nil {
+			if obj := identObject(info, e); obj == h.obj {
+				return true
+			}
+			continue
+		}
+		if renderExpr(e) == h.expr {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsHolder reports whether e references one of the obligation's
+// holders anywhere (closure capture, composite literal, …).
+func mentionsHolder(info *types.Info, ob *pairOblig, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && matchesHolder(info, ob, ex) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// renderExpr prints an expression compactly for string-keyed holders.
+func renderExpr(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}
+
+// callName renders a call target for diagnostics, e.g. "c.getOrBuild".
+func callName(call *ast.CallExpr) string {
+	return renderExpr(call.Fun) + "()"
+}

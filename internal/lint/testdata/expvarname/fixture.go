@@ -1,0 +1,28 @@
+// Package expvarname holds golden fixtures for the expvarname analyzer.
+// Type-checked only, never run (running would panic on the duplicate
+// key, which is exactly the point of the check).
+package expvarname
+
+import "expvar"
+
+const goodKey = "hnowd.fixture.const_key"
+
+var (
+	good      = expvar.NewInt("hnowd.fixture.good")
+	alsoGood  = expvar.NewMap("batch.fixture.good_map")
+	fromConst = expvar.NewFloat(goodKey)
+
+	badPrefix = expvar.NewInt("fixture.no_namespace")    // want "convention"
+	badCase   = expvar.NewInt("hnowd.Fixture.MixedCase") // want "convention"
+
+	dupFirst  = expvar.NewInt("batch.fixture.dup")
+	dupSecond = expvar.NewInt("batch.fixture.dup") // want "already registered"
+)
+
+func dynamicKey(k string) {
+	expvar.Publish(k, good) // want "not a compile-time constant"
+}
+
+func publishedConst() {
+	expvar.Publish("hnowd.fixture.published", alsoGood)
+}

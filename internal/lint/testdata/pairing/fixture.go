@@ -1,0 +1,186 @@
+// Package pairing holds golden fixtures for the pairing analyzer: every
+// want-marker is a finding the analyzer must emit on that
+// line, and unmarked lines must stay clean. Type-checked only, never
+// run — the nil tables and pools are fine because no code executes.
+package pairing
+
+import (
+	"errors"
+
+	"repro/internal/batch"
+	"repro/internal/exact"
+)
+
+// leakOnErrorPath is the canonical positive: the early return skips the
+// Release.
+func leakOnErrorPath(t *exact.Table, cond bool) error {
+	t.Retain() // want "not matched by Release"
+	if cond {
+		return errors.New("early exit leaks the borrow")
+	}
+	t.Release()
+	return nil
+}
+
+// pairedByDefer is clean: a defer covers every later exit, error paths
+// and panics included.
+func pairedByDefer(t *exact.Table, cond bool) error {
+	t.Retain()
+	defer t.Release()
+	if cond {
+		return errors.New("early but safe")
+	}
+	return nil
+}
+
+// pairedOnBothBranches releases explicitly on each path.
+func pairedOnBothBranches(t *exact.Table, cond bool) error {
+	t.Retain()
+	if cond {
+		t.Release()
+		return errors.New("released before the early exit")
+	}
+	t.Release()
+	return nil
+}
+
+// poolLeakOnEarlyReturn forgets the Put on the early path.
+func poolLeakOnEarlyReturn(p *batch.EnginePool, cond bool) {
+	be := p.Get() // want "not matched by Put"
+	if cond {
+		return
+	}
+	p.Put(be)
+}
+
+// poolPairedByDefer is the clean shape.
+func poolPairedByDefer(p *batch.EnginePool, cond bool) {
+	be := p.Get()
+	defer p.Put(be)
+	if cond {
+		return
+	}
+	be.EvalAll()
+}
+
+// loopLeak acquires every iteration without discharging: each pass
+// around the loop leaks one engine.
+func loopLeak(p *batch.EnginePool, n int) {
+	for i := 0; i < n; i++ {
+		be := p.Get() // want "every iteration leaks"
+		be.EvalAll()
+	}
+}
+
+// loopPaired discharges within the iteration.
+func loopPaired(p *batch.EnginePool, n int) {
+	for i := 0; i < n; i++ {
+		be := p.Get()
+		be.EvalAll()
+		p.Put(be)
+	}
+}
+
+// continueLeak releases only on the fall-through path; the continue
+// skips it.
+func continueLeak(p *batch.EnginePool, n int) {
+	for i := 0; i < n; i++ {
+		be := p.Get() // want "not matched by Put"
+		if i%2 == 0 {
+			continue
+		}
+		p.Put(be)
+	}
+}
+
+// acquire stands in for the tableCache accessors: the returned table is
+// borrowed and gated by the bool.
+//
+//hnow:borrows
+func acquire(ok bool) (*exact.Table, bool) {
+	return nil, ok
+}
+
+// acquireErr is the error-gated variant.
+//
+//hnow:borrows
+func acquireErr(fail bool) (*exact.Table, error) {
+	if fail {
+		return nil, errors.New("no table")
+	}
+	return nil, nil
+}
+
+// borrowOkGated is clean: the !ok branch never took the borrow, the ok
+// branch releases.
+func borrowOkGated() {
+	t, ok := acquire(true)
+	if !ok {
+		return
+	}
+	t.Release()
+}
+
+// borrowLeak takes the gated borrow and forgets the Release.
+func borrowLeak() int64 {
+	t, ok := acquire(true) // want "not matched by Release"
+	if !ok {
+		return 0
+	}
+	rt, _ := t.Lookup(0, nil)
+	return rt
+}
+
+// borrowErrGated is clean: err != nil means no borrow, the happy path
+// defers.
+func borrowErrGated() error {
+	t, err := acquireErr(false)
+	if err != nil {
+		return err
+	}
+	defer t.Release()
+	return nil
+}
+
+// borrowErrLeak releases on neither path after the error check.
+func borrowErrLeak(cond bool) error {
+	t, err := acquireErr(false) // want "not matched by Release"
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("leaks t")
+	}
+	t.Release()
+	return nil
+}
+
+// passthrough transfers the obligation with the value: returning the
+// borrow hands it to the caller, so the function itself is clean.
+//
+//hnow:borrows
+func passthrough(ok bool) (*exact.Table, bool) {
+	t, ok2 := acquire(ok)
+	return t, ok2
+}
+
+// handedOff transfers the obligation by passing the borrow onward.
+func handedOff(sink func(*exact.Table)) {
+	t, ok := acquire(true)
+	if !ok {
+		return
+	}
+	sink(t)
+}
+
+// misannotated has the directive but no borrowable result.
+//
+//hnow:borrows
+func misannotated() int { // want "returns no"
+	return 0
+}
+
+// suppressed shows the escape hatch for a reviewed call site.
+func suppressed(t *exact.Table) {
+	t.Retain() //hnowlint:ignore pairing fixture: ownership documented elsewhere
+}

@@ -85,6 +85,8 @@ func (e *BatchEngine) Lanes() int { return e.lanes }
 // of every transmission v originates (the sender pays latency, mirroring
 // sim.Perturb's convention). Each vector must have one entry per node of
 // the attached set; a nil vector keeps the nominal values from Attach.
+//
+//hnow:noalloc
 func (e *BatchEngine) SetLane(b int, sendC, recvC, latC []int64) {
 	if b < 0 || b >= e.lanes {
 		panic(fmt.Sprintf("model: BatchEngine.SetLane: lane %d out of range [0,%d)", b, e.lanes))
@@ -120,6 +122,8 @@ func (e *BatchEngine) SetLane(b int, sendC, recvC, latC []int64) {
 // row writes sequential while the (small) draw vectors stay cache
 // resident, which is what keeps the fill half of the batch path at
 // memory bandwidth.
+//
+//hnow:noalloc
 func (e *BatchEngine) SetLanes(sendCs, recvCs, latCs [][]int64) {
 	B := e.lanes
 	if len(sendCs) != B || len(recvCs) != B || len(latCs) != B {
@@ -162,6 +166,8 @@ func (e *BatchEngine) SetLanes(sendCs, recvCs, latCs [][]int64) {
 // layer-major pass: positions in BFS order, each child position advanced
 // across all lanes by one contiguous kernel step with the completion
 // maxima fused in. Steady-state the call allocates nothing.
+//
+//hnow:noalloc
 func (e *BatchEngine) EvalAll() {
 	B := e.lanes
 	kernFill(e.d[:B], 0)

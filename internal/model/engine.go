@@ -234,6 +234,8 @@ func (e *Engine) refreshCrossLayer(layers int) {
 // running maxima; the cross-layer prefixes and suffixes refresh in
 // O(layers). Acceptance-heavy loops (annealing) commit this way instead
 // of paying Attach's pointer-heavy BFS rebuild.
+//
+//hnow:noalloc
 func (e *Engine) CommitSwap(a, b NodeID) {
 	if e.generic {
 		e.commitSwapGeneric(a, b)
@@ -379,6 +381,8 @@ func (e *Engine) TimesInto(tm *Times) {
 // Move operands must be currently attached (and, for MoveRelocate, A must
 // be a leaf and B must not be A), mirroring the preconditions of the
 // schedule edits they model.
+//
+//hnow:noalloc
 func (e *Engine) EvalMoves(moves []Move, out []int64) {
 	if len(moves) != len(out) {
 		panic(fmt.Sprintf("model: EvalMoves: %d moves, %d output slots", len(moves), len(out)))
@@ -391,6 +395,8 @@ func (e *Engine) EvalMoves(moves []Move, out []int64) {
 // Eval scores a single candidate move, returning the delivery and
 // reception completion times the schedule would have after it. See
 // EvalMoves for the preconditions.
+//
+//hnow:noalloc
 func (e *Engine) Eval(mv Move) (dt, rt int64) {
 	if e.generic {
 		return e.evalGeneric(mv)

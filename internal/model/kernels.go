@@ -16,6 +16,8 @@ package model
 // kernChildTimes fills one parent's contiguous children span with
 // delivery and reception times by strength-reduced accumulation:
 // d[i] = base + (i+1)*sv, r[i] = d[i] + rc[i].
+//
+//hnow:noalloc
 func kernChildTimes(d, r, rc []int64, base, sv int64) {
 	r = r[:len(d)]
 	rc = rc[:len(d)]
@@ -31,6 +33,8 @@ func kernChildTimes(d, r, rc []int64, base, sv int64) {
 // stamped scratch row nr and returns the running maxima of the walked
 // delivery and reception values. The delivery times themselves are not
 // stored: only the receptions propagate to deeper layers.
+//
+//hnow:noalloc
 func kernChildCand(nr, rc []int64, st []uint32, gen uint32, base, sv, movD, movR int64) (int64, int64) {
 	rc = rc[:len(nr)]
 	st = st[:len(nr)]
@@ -48,6 +52,8 @@ func kernChildCand(nr, rc []int64, st []uint32, gen uint32, base, sv, movD, movR
 
 // kernPrefixMax2 writes the exclusive prefix running maxima of rows a and
 // b into preA and preB and returns the full maxima of both rows.
+//
+//hnow:noalloc
 func kernPrefixMax2(preA, preB, a, b []int64) (mA, mB int64) {
 	preB = preB[:len(preA)]
 	a = a[:len(preA)]
@@ -64,6 +70,8 @@ func kernPrefixMax2(preA, preB, a, b []int64) (mA, mB int64) {
 
 // kernSuffixMax2 writes the inclusive suffix running maxima of rows a and
 // b into sufA and sufB.
+//
+//hnow:noalloc
 func kernSuffixMax2(sufA, sufB, a, b []int64) {
 	sufB = sufB[:len(sufA)]
 	a = a[:len(sufA)]
@@ -79,6 +87,8 @@ func kernSuffixMax2(sufA, sufB, a, b []int64) {
 
 // kernMax2 folds the maxima of two equal-length rows into the
 // accumulators (the complement gap scan and the completion rescans).
+//
+//hnow:noalloc
 func kernMax2(a, b []int64, mA, mB int64) (int64, int64) {
 	b = b[:len(a)]
 	for i := range a {
@@ -94,6 +104,8 @@ func kernMax2(a, b []int64, mA, mB int64) (int64, int64) {
 // receive overhead, and the per-lane completion maxima fold in the new
 // values — so one pass over the batch rows both times the schedules and
 // maintains the objective, with no second rescan of d and r.
+//
+//hnow:noalloc
 func kernLaneStep(acc, sv, lat, rc, d, r, maxD, maxR []int64) {
 	sv = sv[:len(acc)]
 	lat = lat[:len(acc)]
@@ -115,6 +127,8 @@ func kernLaneStep(acc, sv, lat, rc, d, r, maxD, maxR []int64) {
 }
 
 // kernFill writes v into every element of row.
+//
+//hnow:noalloc
 func kernFill(row []int64, v int64) {
 	for i := range row {
 		row[i] = v

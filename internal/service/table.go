@@ -298,6 +298,8 @@ func (c *tableCache) saveToDisk(key string, t *exact.Table) {
 
 // retainLocked returns the cached table for key with a borrow taken and
 // its recency refreshed. Callers must Release the table when done.
+//
+//hnow:borrows
 func (c *tableCache) retainLocked(key string) (*exact.Table, bool) {
 	for i, e := range c.entries {
 		if e.key == key {
@@ -312,6 +314,8 @@ func (c *tableCache) retainLocked(key string) (*exact.Table, bool) {
 
 // get returns the cached table for key with a borrow taken (Release when
 // done), refreshing its recency.
+//
+//hnow:borrows
 func (c *tableCache) get(key string) (*exact.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -408,6 +412,8 @@ func (c *tableCache) lookupSet(set *model.MulticastSet) (int64, bool) {
 // negative result, so a broken or missing file costs the cohort one read
 // attempt, not one per waiter. The returned table is borrowed: Release
 // when done.
+//
+//hnow:borrows
 func (c *tableCache) loadKeyed(key string) (*exact.Table, bool) {
 	for {
 		c.mu.Lock()
@@ -453,6 +459,8 @@ func (c *tableCache) loadKeyed(key string) (*exact.Table, bool) {
 // index_size expvar immediately, exactly like a local build). The
 // returned table is borrowed; Release when done. source is one of
 // TableCacheHit, TableCacheDisk or TableCachePeer.
+//
+//hnow:borrows
 func (c *tableCache) ingestKeyed(key string, fetch func() (*exact.Table, error)) (*exact.Table, string, error) {
 	for {
 		c.mu.Lock()
@@ -559,6 +567,8 @@ func (c *tableCache) lookupSetAny(set *model.MulticastSet) (int64, bool) {
 // while distinct networks proceed in parallel. The returned source is one
 // of TableCacheHit, TableCacheDisk or TableCacheMiss; the table is
 // borrowed and must be Released by the caller.
+//
+//hnow:borrows
 func (c *tableCache) getOrBuild(inst *exact.Instance, workers int) (*exact.Table, string, string, time.Duration, error) {
 	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
 	for {
