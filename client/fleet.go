@@ -164,6 +164,27 @@ func (f *Fleet) WarmTable(ctx context.Context, set *model.MulticastSet, parallel
 	})
 }
 
+// WarmAll warms every set's table concurrently, each request routed to
+// the set's owning replica. With distributed fills enabled on the fleet
+// (hnowd -fleet-fill) each owner then leads its own band chain, so a
+// bulk pre-warm spreads across the replicas twice over: by ownership
+// and by band delegation. Results are positional; warms that fail leave
+// a nil slot and their errors are joined.
+func (f *Fleet) WarmAll(ctx context.Context, sets []*model.MulticastSet, parallelism int) ([]*service.TableResponse, error) {
+	out := make([]*service.TableResponse, len(sets))
+	errs := make([]error, len(sets))
+	var wg sync.WaitGroup
+	for i, set := range sets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = f.WarmTable(ctx, set, parallelism)
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
 // Schedule computes one schedule, routed to the owner of the set's
 // network so plan-cache and table locality line up.
 func (f *Fleet) Schedule(ctx context.Context, set *model.MulticastSet, algo string, seed int64) (*service.ScheduleResponse, error) {

@@ -109,6 +109,45 @@ func TestFleetClientRoutesToOwner(t *testing.T) {
 	}
 }
 
+// TestFleetClientWarmAll: a bulk pre-warm lands every set on its owner
+// concurrently, building each table exactly once fleet-wide.
+func TestFleetClientWarmAll(t *testing.T) {
+	svcs, _, urls := startFleetServers(t, 3)
+	var sets []*model.MulticastSet
+	seen := map[string]bool{} // dedupe by network key so builds == len(sets)
+	for seed := int64(0); len(sets) < 6 && seed < 40; seed++ {
+		set, err := cluster.Generate(cluster.GenConfig{N: 8 + int(seed%5), K: 2, Seed: seed, MaxSend: 8})
+		if err != nil {
+			continue
+		}
+		key, err := service.NetworkKey(set)
+		if err != nil || seen[key] {
+			continue
+		}
+		seen[key] = true
+		sets = append(sets, set)
+	}
+	fc := client.NewFleet(urls...)
+	resps, err := fc.WarmAll(context.Background(), sets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r == nil || r.OptimalRT <= 0 {
+			t.Errorf("set %d: warm response %+v", i, r)
+		} else if r.Fleet != service.FleetRoleOwner {
+			t.Errorf("set %d landed on a %q replica, want owner", i, r.Fleet)
+		}
+	}
+	var builds int64
+	for _, s := range svcs {
+		builds += s.TableBuilds()
+	}
+	if want := int64(len(sets)); builds != want {
+		t.Errorf("fleet-wide builds = %d, want %d (one per distinct network)", builds, want)
+	}
+}
+
 // TestFleetClientRefreshAndFailover: Refresh learns the full membership
 // from a partial seed list, and a dead owner is skipped in favor of the
 // next-ranked replica (which serves by fallback build).

@@ -46,6 +46,7 @@ func main() {
 	out := flag.String("out", "BENCH_dp.json", "output path of the DP suite for -json (\"-\" for stdout)")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "output path of the engine suite for -json (\"-\" for stdout, \"\" to skip)")
 	cpu := flag.String("cpu", "", "comma-separated worker/GOMAXPROCS values for the parallel rows (default \"1,4,NumCPU\", deduplicated)")
+	long := flag.Bool("long", false, "include the slow k=5 fill row in the -json DP suite")
 	flag.Parse()
 
 	if *jsonMode {
@@ -54,7 +55,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
 			os.Exit(2)
 		}
-		if err := runPerfSuite(*out, cpus); err != nil {
+		if err := runPerfSuite(*out, cpus, *long); err != nil {
 			fmt.Fprintf(os.Stderr, "hnowbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -182,6 +183,35 @@ func k2n40() *model.MulticastSet {
 	return &model.MulticastSet{Latency: 1, Nodes: nodes}
 }
 
+// k4n29 widens the fill suite to four types: 29 destinations, ~18k DP
+// states, enough planes and split axes to exercise the nested cascade.
+func k4n29() *model.MulticastSet {
+	a := model.Node{Send: 1, Recv: 1}
+	b := model.Node{Send: 2, Recv: 3}
+	c := model.Node{Send: 3, Recv: 5}
+	d := model.Node{Send: 4, Recv: 7}
+	nodes := []model.Node{b}
+	for i := 0; i < 7; i++ {
+		nodes = append(nodes, a, b, c, d)
+	}
+	return &model.MulticastSet{Latency: 1, Nodes: nodes}
+}
+
+// k5n26 is the -long row: five types and the deepest odometer the suite
+// drives, so cascade wins on high-arity networks stay measured.
+func k5n26() *model.MulticastSet {
+	a := model.Node{Send: 1, Recv: 1}
+	b := model.Node{Send: 2, Recv: 3}
+	c := model.Node{Send: 3, Recv: 5}
+	d := model.Node{Send: 4, Recv: 7}
+	e := model.Node{Send: 5, Recv: 9}
+	nodes := []model.Node{b}
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, a, b, c, d, e)
+	}
+	return &model.MulticastSet{Latency: 1, Nodes: nodes}
+}
+
 func heurSet() (*model.MulticastSet, error) { return heurSetN(64) }
 
 // heurSetN builds a deterministic n-destination, 3-type instance
@@ -196,7 +226,7 @@ func heurSetN(n int) (*model.MulticastSet, error) {
 	return set, set.Validate()
 }
 
-func runPerfSuite(out string, cpus []int) error {
+func runPerfSuite(out string, cpus []int, long bool) error {
 	hs, err := heurSet()
 	if err != nil {
 		return err
@@ -252,6 +282,44 @@ func runPerfSuite(out string, cpus []int) error {
 				}
 			},
 		})
+	}
+	// Higher-arity fills: the k=4 row always, the k=5 row behind -long.
+	// Both run sequentially and at the widest -cpu width so the deep
+	// odometer's cascade and the pool parallelism are measured together.
+	cases = append(cases, perfCase{"dp_fillall_seq_k4_n29", 0, func(b *testing.B) {
+		set := k4n29()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.BuildTable(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	if wMax := cpus[len(cpus)-1]; wMax > 1 {
+		cases = append(cases, perfCase{
+			name:  fmt.Sprintf("dp_fillall_par_k4_n29_w%d", wMax),
+			procs: wMax,
+			fn: func(b *testing.B) {
+				set := k4n29()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exact.BuildTableParallel(set, wMax); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	if long {
+		cases = append(cases, perfCase{"dp_fillall_seq_k5_n26", 0, func(b *testing.B) {
+			set := k5n26()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.BuildTable(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
 	}
 	cases = append(cases, []perfCase{
 		// The two move-evaluation strategies side by side: the seed's full

@@ -9,6 +9,7 @@
 //	hnowtable -set c.json -query 1:3,1                  # T(source type 1; 3 of type 0, 1 of type 1)
 //	hnowtable -set c.json -all                          # dump every state
 //	hnowtable -set c.json -save tables/                 # pre-build for `hnowd -table-dir tables/`
+//	hnowtable -set c.json -save tables/ -workers 0      # parallel fill on every core
 //	hnowtable -load tables/ab/cdef.hnowtbl -query 1:3,1 # query a persisted table
 //	hnowtable -migrate tables/                          # flat v1 spill dir -> sharded layout
 package main
@@ -33,6 +34,7 @@ func main() {
 	save := flag.String("save", "", "persist the built table: a file path, or an existing directory (e.g. a daemon -table-dir) to use the canonical sharded spill path")
 	load := flag.String("load", "", "load a persisted table instead of building (-set is ignored)")
 	migrate := flag.String("migrate", "", "one-shot: move a flat v1 spill directory into the sharded layout, then exit")
+	workers := flag.Int("workers", 1, "table-fill parallelism (clamped to GOMAXPROCS; 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *migrate != "" {
@@ -72,7 +74,7 @@ func main() {
 		for i, ty := range inst.Types {
 			fmt.Printf("  type %d: send=%d recv=%d (x%d destinations)\n", i, ty.Send, ty.Recv, inst.Counts[i])
 		}
-		table, err = exact.BuildTable(set)
+		table, err = exact.BuildTableParallel(set, *workers)
 		if err != nil {
 			fail(err)
 		}

@@ -22,6 +22,23 @@ import (
 // this cap so that fine-grained jobs (e.g. DP states) amortize the atomic.
 const maxForEachChunk = 64
 
+// Chunk returns the number of consecutive indices one worker should
+// claim per atomic fetch when n items are drained by workers goroutines
+// through a shared cursor: ~8 chunks per worker so stragglers rebalance,
+// clamped to [1, 64] so fine-grained items still amortize the atomic.
+// ForEach uses it internally; exported for pools that manage their own
+// cursor (e.g. the exact DP's persistent layer-fill pool).
+func Chunk(n, workers int) int64 {
+	chunk := int64(n / (workers * 8))
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > maxForEachChunk {
+		chunk = maxForEachChunk
+	}
+	return chunk
+}
+
 // ForEach invokes fn(worker, i) for every i in [0, n), distributing the
 // indices over up to workers goroutines (0 selects GOMAXPROCS). worker is
 // a stable 0-based identifier of the calling goroutine, so fn can index
@@ -45,14 +62,7 @@ func ForEach(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
-	// Aim for ~8 chunks per worker so stragglers rebalance.
-	chunk := int64(n / (workers * 8))
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > maxForEachChunk {
-		chunk = maxForEachChunk
-	}
+	chunk := Chunk(n, workers)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,355 @@
+package exact
+
+// Layer bands: a versioned, checksummed binary format for a contiguous
+// range of fill layers, the exchange unit of fleet-distributed table
+// builds. The key's owner sends a peer the already-filled prefix
+// (layers [0, lo), values only — choices are never consulted by the
+// recurrence, so shipping them would double the request for nothing),
+// the peer fills [lo, hi) locally and streams the band back with
+// choices. Bands cross the same trust boundary as whole table files:
+// ReadBand fully validates untrusted bytes — checksum, geometry,
+// layer-range plausibility and per-state choice invariants — before the
+// owner ingests anything.
+//
+// Band format (version 1), every fixed-width field little-endian:
+//
+//	offset   size         field
+//	     0      8         magic "HNOWBND\0"
+//	     8      4         format version (currently 1)
+//	    12      4         CRC-32C (Castagnoli) of every byte from offset 16 on
+//	    16      8         network latency (int64)
+//	    24      4         k: number of distinct types
+//	    28      4         planes: stored source planes after equal-Send dedup
+//	    32      4         loLayer: first fill layer covered (inclusive)
+//	    36      4         hiLayer: first fill layer not covered
+//	    40      4         flags (bit 0: choice section present)
+//	    44      4         reserved, must be zero
+//	    48      16k       types: k (send int64, recv int64) pairs, strictly
+//	                      ascending by (send, recv)
+//	 48+16k     8k        per-type destination counts (int64)
+//	 48+24k     8·planes·W value section: for each plane, the values of
+//	                      order[layerOff[lo]:layerOff[hi]] in order;
+//	                      W = layerOff[hi] - layerOff[lo]
+//	      …     8·planes·W choice section, same order, iff flag bit 0
+//
+// The layer schedule (order/layerOff) is a pure function of the
+// geometry, so band producers and consumers always agree on which state
+// each word belongs to.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrBadBand marks band bytes rejected by validation — truncated,
+// corrupt, version-skewed or violating a state invariant — as opposed to
+// transport errors fetching them (check with errors.Is).
+var ErrBadBand = errors.New("invalid layer band")
+
+const (
+	bandMagic = "HNOWBND\x00"
+	// BandFormatVersion is the band format WriteBand emits and ReadBand
+	// accepts; any other version is rejected.
+	BandFormatVersion = 1
+	bandFlagChoices   = 1 << 0
+)
+
+// Band is a validated contiguous range of fill layers for one network,
+// decoded from the wire format. Its geometry accessors identify the
+// network; IngestBand copies the payload into a matching DP.
+type Band struct {
+	geo    *DP // geometry + layer schedule only, no tables
+	Lo, Hi int // covered layer range [Lo, Hi)
+
+	values  []int64
+	choices []uint64 // nil when the band carries values only
+}
+
+// Latency returns the band's network latency.
+func (b *Band) Latency() int64 { return b.geo.latency }
+
+// Types returns the band's sorted type list.
+func (b *Band) Types() []Type { return b.geo.Types() }
+
+// Counts returns the band's per-type destination counts.
+func (b *Band) Counts() []int { return b.geo.Counts() }
+
+// HasChoices reports whether the band carries reconstruction choices
+// alongside values.
+func (b *Band) HasChoices() bool { return b.choices != nil }
+
+// WriteBand serializes layers [lo, hi) of the DP in the band format,
+// with the choice section iff withChoices. Every covered state must
+// already be filled.
+func (dp *DP) WriteBand(w io.Writer, lo, hi int, withChoices bool) (int64, error) {
+	if lo < 0 || hi > dp.LayerCount() || lo > hi {
+		return 0, fmt.Errorf("exact: band layers [%d,%d) outside [0,%d]", lo, hi, dp.LayerCount())
+	}
+	k := len(dp.types)
+	planes := len(dp.planeSrc)
+	span := int(dp.layerOff[hi] - dp.layerOff[lo])
+	values := make([]int64, 0, planes*span)
+	var choices []uint64
+	if withChoices {
+		choices = make([]uint64, 0, planes*span)
+	}
+	for p := 0; p < planes; p++ {
+		base := int64(p) * dp.prod
+		for i := dp.layerOff[lo]; i < dp.layerOff[hi]; i++ {
+			idx := base + int64(dp.order[i])
+			v := dp.value[idx]
+			if v == unknown {
+				return 0, fmt.Errorf("exact: band layers [%d,%d) contain unfilled states", lo, hi)
+			}
+			values = append(values, v)
+			if withChoices {
+				choices = append(choices, dp.choice[idx])
+			}
+		}
+	}
+	le := binary.LittleEndian
+	header := make([]byte, 48+24*k)
+	copy(header, bandMagic)
+	le.PutUint32(header[8:], BandFormatVersion)
+	le.PutUint64(header[16:], uint64(dp.latency))
+	le.PutUint32(header[24:], uint32(k))
+	le.PutUint32(header[28:], uint32(planes))
+	le.PutUint32(header[32:], uint32(lo))
+	le.PutUint32(header[36:], uint32(hi))
+	if withChoices {
+		le.PutUint32(header[40:], bandFlagChoices)
+	}
+	off := 48
+	for _, ty := range dp.types {
+		le.PutUint64(header[off:], uint64(ty.Send))
+		le.PutUint64(header[off+8:], uint64(ty.Recv))
+		off += 16
+	}
+	for _, c := range dp.counts {
+		le.PutUint64(header[off:], uint64(c))
+		off += 8
+	}
+	valueBytes := leBytes(values)
+	choiceBytes := leBytes(choices)
+	crc := crc32.Update(0, castagnoli, header[16:])
+	crc = crc32.Update(crc, castagnoli, valueBytes)
+	crc = crc32.Update(crc, castagnoli, choiceBytes)
+	le.PutUint32(header[12:], crc)
+	var n int64
+	for _, buf := range [][]byte{header, valueBytes, choiceBytes} {
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadBand decodes and fully validates a band from untrusted bytes:
+// checksum, geometry (via the same validation a fresh build runs), layer
+// range, exact payload length, non-negative values, and — when choices
+// are present — the per-state reconstruction invariants (reserved type
+// available, split within the remainder). Malformed input is rejected
+// with an error wrapping ErrBadBand, never a panic.
+func ReadBand(data []byte) (*Band, error) {
+	b, err := readBand(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBand, err)
+	}
+	return b, nil
+}
+
+func readBand(data []byte) (*Band, error) {
+	le := binary.LittleEndian
+	if len(data) < 48 {
+		return nil, fmt.Errorf("exact: band truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != bandMagic {
+		return nil, fmt.Errorf("exact: not a layer band (bad magic)")
+	}
+	if v := le.Uint32(data[8:]); v != BandFormatVersion {
+		return nil, fmt.Errorf("exact: unsupported band format version %d (want %d)", v, BandFormatVersion)
+	}
+	latency := int64(le.Uint64(data[16:]))
+	k := int(le.Uint32(data[24:]))
+	planes := int(le.Uint32(data[28:]))
+	lo := int(le.Uint32(data[32:]))
+	hi := int(le.Uint32(data[36:]))
+	flags := le.Uint32(data[40:])
+	if reserved := le.Uint32(data[44:]); reserved != 0 {
+		return nil, fmt.Errorf("exact: band reserved field is %d, want 0", reserved)
+	}
+	if flags&^uint32(bandFlagChoices) != 0 {
+		return nil, fmt.Errorf("exact: unknown band flags %#x", flags)
+	}
+	if k <= 0 || k > maxTableTypes {
+		return nil, fmt.Errorf("exact: implausible type count %d", k)
+	}
+	headerLen := 48 + 24*k
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("exact: band truncated (header needs %d bytes, have %d)", headerLen, len(data))
+	}
+	types := make([]Type, k)
+	off := 48
+	for j := range types {
+		types[j] = Type{Send: int64(le.Uint64(data[off:])), Recv: int64(le.Uint64(data[off+8:]))}
+		if j > 0 {
+			prev := types[j-1]
+			if types[j].Send < prev.Send || (types[j].Send == prev.Send && types[j].Recv <= prev.Recv) {
+				return nil, fmt.Errorf("exact: band types not in strict (send, recv) order")
+			}
+		}
+		off += 16
+	}
+	counts := make([]int, k)
+	for j := range counts {
+		c := int64(le.Uint64(data[off:]))
+		if c < 0 || c > math.MaxInt32 {
+			return nil, fmt.Errorf("exact: implausible count %d for type %d", c, j)
+		}
+		counts[j] = int(c)
+		off += 8
+	}
+	geo, err := newGeometry(latency, types, counts)
+	if err != nil {
+		return nil, err
+	}
+	if len(geo.planeSrc) != planes {
+		return nil, fmt.Errorf("exact: band claims %d planes, types imply %d", planes, len(geo.planeSrc))
+	}
+	geo.buildLayers()
+	if lo > hi || hi > geo.LayerCount() {
+		return nil, fmt.Errorf("exact: band layers [%d,%d) outside [0,%d]", lo, hi, geo.LayerCount())
+	}
+	span := int64(geo.layerOff[hi] - geo.layerOff[lo])
+	words := int64(planes) * span
+	sections := int64(1)
+	if flags&bandFlagChoices != 0 {
+		sections = 2
+	}
+	if want := int64(headerLen) + 8*sections*words; int64(len(data)) != want {
+		return nil, fmt.Errorf("exact: band is %d bytes, header implies %d", len(data), want)
+	}
+	if got, stored := crc32.Checksum(data[16:], castagnoli), le.Uint32(data[12:]); got != stored {
+		return nil, fmt.Errorf("exact: band checksum mismatch (band %08x, computed %08x)", stored, got)
+	}
+	b := &Band{geo: geo, Lo: lo, Hi: hi}
+	b.values = leWords[int64](data[headerLen : int64(headerLen)+8*words])
+	for _, v := range b.values {
+		if v < 0 {
+			return nil, fmt.Errorf("exact: band contains a negative value")
+		}
+	}
+	if flags&bandFlagChoices != 0 {
+		b.choices = leWords[uint64](data[int64(headerLen)+8*words:])
+		if err := b.validateChoices(); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// validateChoices checks every reconstruction choice the band carries
+// against the same invariant validateChoices enforces for whole table
+// files: for each covered state with a positive total, the packed (l, y)
+// must reserve an available type and split within the remainder. This is
+// what keeps reconstruction from a peer-assembled table in bounds even
+// against a buggy or hostile band producer.
+func (b *Band) validateChoices() error {
+	geo := b.geo
+	k := len(geo.types)
+	vec := make([]int, k)
+	y := make([]int, k)
+	span := int(geo.layerOff[b.Hi] - geo.layerOff[b.Lo])
+	for p := 0; p < len(geo.planeSrc); p++ {
+		t := b.Lo
+		for i := 0; i < span; i++ {
+			pos := geo.layerOff[b.Lo] + int32(i)
+			for geo.layerOff[t+1] <= pos {
+				t++
+			}
+			if t == 0 {
+				continue
+			}
+			st := int64(geo.order[int(geo.layerOff[b.Lo])+i])
+			ch := b.choices[p*span+i]
+			l := int(ch >> 40)
+			yState := int64(ch & ((1 << 40) - 1))
+			geo.decodeVec(st, vec)
+			if l >= k || vec[l] == 0 || yState >= geo.prod {
+				return fmt.Errorf("exact: band choice out of range at state (%d, %d)", p, st)
+			}
+			geo.decodeVec(yState, y)
+			for j := range y {
+				capj := vec[j]
+				if j == l {
+					capj--
+				}
+				if y[j] > capj {
+					return fmt.Errorf("exact: band choice split exceeds state at (%d, %d)", p, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IngestBand copies a validated band's values (and choices, when
+// present) into the DP and folds the covered layers into the
+// prefix-minimum tables, exactly as if this DP had filled them itself.
+// The band's geometry must match the DP's, every layer below Band.Lo
+// must already be filled, and the DP must still hold its fill state
+// (i.e. not be fully filled and released).
+func (dp *DP) IngestBand(b *Band) error {
+	if b.geo.latency != dp.latency || len(b.geo.types) != len(dp.types) {
+		return fmt.Errorf("exact: band is for a different network")
+	}
+	for j := range dp.types {
+		if b.geo.types[j] != dp.types[j] || b.geo.counts[j] != dp.counts[j] {
+			return fmt.Errorf("exact: band is for a different network")
+		}
+	}
+	if dp.pmin == nil {
+		return fmt.Errorf("exact: fill state already released (table is fully filled)")
+	}
+	for i := int32(0); i < dp.layerOff[b.Lo]; i++ {
+		vecState := int64(dp.order[i])
+		for _, s := range dp.planeSrc {
+			if dp.value[dp.stateIndex(s, vecState)] == unknown {
+				return fmt.Errorf("exact: band starts at layer %d but lower layers are unfilled", b.Lo)
+			}
+		}
+	}
+	planes := len(dp.planeSrc)
+	span := int(dp.layerOff[b.Hi] - dp.layerOff[b.Lo])
+	for p := 0; p < planes; p++ {
+		base := int64(p) * dp.prod
+		for i := 0; i < span; i++ {
+			idx := base + int64(dp.order[int(dp.layerOff[b.Lo])+i])
+			dp.value[idx] = b.values[p*span+i]
+			if b.choices != nil {
+				dp.choice[idx] = b.choices[p*span+i]
+			}
+		}
+	}
+	dp.rebuildPruneState(b.Lo, b.Hi)
+	return nil
+}
+
+// FinishTable seals a fully filled DP — e.g. one assembled from
+// fleet-distributed bands — into a Table, releasing the fill-only
+// prefix-minimum state. It fails if any state is still unfilled.
+func (dp *DP) FinishTable() (*Table, error) {
+	for _, v := range dp.value {
+		if v == unknown {
+			return nil, fmt.Errorf("exact: cannot seal a partially filled table")
+		}
+	}
+	dp.releasePruneState()
+	return &Table{dp: dp}, nil
+}

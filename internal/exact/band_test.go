@@ -1,0 +1,291 @@
+package exact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// reCRCBand recomputes a band's checksum after a deliberate payload
+// mutation, so tests reach the semantic validation behind the CRC.
+func reCRCBand(data []byte) {
+	binary.LittleEndian.PutUint32(data[12:], crc32.Checksum(data[16:], castagnoli))
+}
+
+// TestBandComposeMatchesFillAll simulates the distributed protocol
+// in-process on randomized networks: the owner fills a low band, ships
+// the prefix values-only, a "peer" DP ingests it and fills the middle
+// band, the owner ingests the returned band (with choices) and finishes
+// the rest. The sealed table must be bit-identical — values and choices
+// — to a plain FillAll.
+func TestBandComposeMatchesFillAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(2)
+		set := randTypedSet(rng, 5+rng.Intn(8), k)
+		inst, err := Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.FillAll()
+
+		owner, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers := owner.LayerCount()
+		cut1 := 1 + rng.Intn(layers-1) // keep the middle band non-empty
+		cut2 := cut1 + 1 + rng.Intn(layers-cut1)
+		if err := owner.FillLayers(0, cut1, 1); err != nil {
+			t.Fatal(err)
+		}
+		var prefix bytes.Buffer
+		if _, err := owner.WriteBand(&prefix, 0, cut1, false); err != nil {
+			t.Fatal(err)
+		}
+		pb, err := ReadBand(prefix.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d: prefix band rejected: %v", trial, err)
+		}
+		if pb.Lo != 0 || pb.Hi != cut1 || pb.HasChoices() {
+			t.Fatalf("trial %d: prefix band [%d,%d) choices=%v", trial, pb.Lo, pb.Hi, pb.HasChoices())
+		}
+		peer, err := inst.NewDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.IngestBand(pb); err != nil {
+			t.Fatalf("trial %d: peer ingest: %v", trial, err)
+		}
+		if err := peer.FillLayers(cut1, cut2, 2); err != nil {
+			t.Fatal(err)
+		}
+		var mid bytes.Buffer
+		if _, err := peer.WriteBand(&mid, cut1, cut2, true); err != nil {
+			t.Fatal(err)
+		}
+		mb, err := ReadBand(mid.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d: mid band rejected: %v", trial, err)
+		}
+		if mb.Lo != cut1 || mb.Hi != cut2 || !mb.HasChoices() {
+			t.Fatalf("trial %d: mid band [%d,%d) choices=%v", trial, mb.Lo, mb.Hi, mb.HasChoices())
+		}
+		if err := owner.IngestBand(mb); err != nil {
+			t.Fatalf("trial %d: owner ingest: %v", trial, err)
+		}
+		if err := owner.FillLayers(cut2, layers, 1); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := owner.FinishTable()
+		if err != nil {
+			t.Fatalf("trial %d: FinishTable: %v", trial, err)
+		}
+		for i := range want.value {
+			if tbl.dp.value[i] != want.value[i] {
+				t.Fatalf("trial %d: value[%d]: composed=%d fillall=%d (cuts %d,%d)",
+					trial, i, tbl.dp.value[i], want.value[i], cut1, cut2)
+			}
+			if tbl.dp.choice[i] != want.choice[i] {
+				t.Fatalf("trial %d: choice[%d]: composed=%d fillall=%d (cuts %d,%d)",
+					trial, i, tbl.dp.choice[i], want.choice[i], cut1, cut2)
+			}
+		}
+	}
+}
+
+// bandFixture fills the first layers of a small k=2 network and returns
+// the DP plus a valid serialized band with choices.
+func bandFixture(t *testing.T) (*DP, []byte) {
+	t.Helper()
+	dp, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.FillLayers(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := dp.WriteBand(&buf, 0, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	return dp, buf.Bytes()
+}
+
+// TestBandRejectsCorruption drives ReadBand's trust boundary: every
+// mutation class — truncation, bad magic, version skew, bit flips,
+// nonzero reserved bits, unknown flags, inverted ranges and hostile
+// reconstruction choices — must be rejected with ErrBadBand, never a
+// panic or a silent accept.
+func TestBandRejectsCorruption(t *testing.T) {
+	_, good := bandFixture(t)
+	if _, err := ReadBand(good); err != nil {
+		t.Fatalf("pristine band rejected: %v", err)
+	}
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Helper()
+		b := f(append([]byte(nil), good...))
+		if _, err := ReadBand(b); !errors.Is(err, ErrBadBand) {
+			t.Errorf("%s: err = %v, want ErrBadBand", name, err)
+		}
+	}
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("truncated header", func(b []byte) []byte { return b[:20] })
+	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0) })
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 1; return b })
+	mutate("version skew", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], BandFormatVersion+1)
+		return b
+	})
+	mutate("payload bit flip", func(b []byte) []byte { b[len(b)-3] ^= 1; return b })
+	mutate("header bit flip", func(b []byte) []byte { b[17] ^= 1; return b })
+	mutate("reserved nonzero", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[44:], 7)
+		reCRCBand(b)
+		return b
+	})
+	mutate("unknown flag", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[40:], bandFlagChoices|2)
+		reCRCBand(b)
+		return b
+	})
+	mutate("inverted layer range", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[32:], 3)
+		binary.LittleEndian.PutUint32(b[36:], 1)
+		reCRCBand(b)
+		return b
+	})
+	mutate("negative value", func(b []byte) []byte {
+		// First value word (layer-0 state) of plane 0.
+		headerLen := 48 + 24*2
+		binary.LittleEndian.PutUint64(b[headerLen:], ^uint64(0))
+		reCRCBand(b)
+		return b
+	})
+	mutate("hostile choice", func(b []byte) []byte {
+		// Choice word of a total>=1 state: reserved type index 63 >> k.
+		headerLen := 48 + 24*2
+		span := 0
+		{
+			dp, _ := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 3})
+			span = int(dp.layerOff[3])
+		}
+		choiceOff := headerLen + 8*2*span // values for 2 planes, then choices
+		binary.LittleEndian.PutUint64(b[choiceOff+8:], uint64(63)<<40)
+		reCRCBand(b)
+		return b
+	})
+}
+
+// TestIngestBandValidation: ingest must refuse bands for a different
+// network, bands over unfilled prerequisites, and DPs whose fill state
+// is already sealed.
+func TestIngestBandValidation(t *testing.T) {
+	_, good := bandFixture(t)
+	band, err := ReadBand(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 3, Recv: 3}}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.IngestBand(band); err == nil {
+		t.Error("band for a different network ingested")
+	}
+	shifted, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shifted.IngestBand(band); err == nil {
+		t.Error("band with mismatched counts ingested")
+	}
+
+	// A mid band into a fresh DP: prerequisites unfilled.
+	mid, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.FillLayers(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	var midBuf bytes.Buffer
+	if _, err := mid.WriteBand(&midBuf, 2, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	midBand, err := ReadBand(midBuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.IngestBand(midBand); err == nil {
+		t.Error("band over unfilled lower layers ingested")
+	}
+
+	// A sealed DP has no fill state left.
+	sealed, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.FillAll()
+	if err := sealed.IngestBand(band); err == nil {
+		t.Error("fully filled DP accepted a band")
+	}
+	if err := sealed.FillLayers(0, 1, 1); err == nil {
+		t.Error("fully filled DP accepted FillLayers")
+	}
+}
+
+// TestFillLayersValidation: range checks, prerequisite checks, and the
+// partial-fill guard on FinishTable.
+func TestFillLayersValidation(t *testing.T) {
+	newDP := func() *DP {
+		t.Helper()
+		dp, err := New(2, []Type{{Send: 1, Recv: 2}, {Send: 2, Recv: 3}}, []int{3, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dp
+	}
+	dp := newDP()
+	if err := dp.FillLayers(-1, 2, 1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if err := dp.FillLayers(0, dp.LayerCount()+1, 1); err == nil {
+		t.Error("hi past the layer count accepted")
+	}
+	if err := dp.FillLayers(3, 2, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := dp.FillLayers(2, 4, 1); err == nil {
+		t.Error("unfilled prefix accepted")
+	}
+	if _, err := dp.WriteBand(&bytes.Buffer{}, 0, 1, false); err == nil {
+		t.Error("WriteBand over unfilled states accepted")
+	}
+	if _, err := dp.FinishTable(); err == nil {
+		t.Error("FinishTable sealed a partially filled DP")
+	}
+	if err := dp.FillLayers(0, dp.LayerCount(), 1); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := dp.FinishTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Lookup(0, []int{3, 3}); err != nil {
+		t.Errorf("sealed table lookup: %v", err)
+	}
+}

@@ -21,12 +21,16 @@
 // in the recurrence strictly reduces the total destination count, so the
 // states are evaluated bottom-up by total, layer t depending only on
 // layers < t. That removes recursion and per-call allocations, lets
-// FillAll shard each layer across a worker pool (FillAllParallel), and
-// enables the split pruning evalState documents: a sound column-skip
-// bound from pivot-axis prefix minima, plus crossover binary search on
-// networks whose filled layers verify monotone (T is NOT monotone in the
-// count vector in general — an extra fast relay node can lower the
-// optimum — so the fast path is guarded at runtime).
+// FillAll shard each layer across a worker pool (FillAllParallel) or a
+// fleet of processes (FillLayers + the band format in band.go), and
+// enables the split pruning evalState documents: sound block-skip bounds
+// from nested prefix minima — the pivot axis alone, then the pivot plus
+// ever-longer prefixes of the remaining axes — that let the outer
+// odometer skip whole subranges of dominated splits, plus crossover
+// binary search on networks whose filled layers verify monotone (T is
+// NOT monotone in the count vector in general — an extra fast relay node
+// can lower the optimum — so that last fast path is guarded at runtime;
+// the prefix-minimum bounds are exact box minima and need no guard).
 package exact
 
 import (
@@ -34,6 +38,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/batch"
@@ -80,6 +85,19 @@ type DP struct {
 	// subtree and remainder terms in O(1), giving a sound column-skip
 	// bound that needs no monotonicity assumption.
 	pmin []int64
+	// cascade nests the prefix minima over the remaining axes: with the
+	// non-pivot axes listed in odo, cascade[d][idx] is the minimum of
+	// value over the box [0..v_pivot] × [0..v_odo[0]] × … × [0..v_odo[d]]
+	// below idx's count vector (its other coordinates fixed). Level d
+	// extends level d-1 (level "-1" being pmin) along one more axis, so
+	// each entry costs O(1) per state during the fill, like pmin. The
+	// cascade gives evalState an exact minimum over whole blocks of
+	// odometer columns in O(1), letting it skip subranges of dominated
+	// splits — again with no monotonicity assumption. pmin and cascade
+	// are fill-time state only and are freed once the table is full
+	// (releasePruneState); a loaded table never allocates them.
+	cascade [][]int64
+	odo     []int // the non-pivot axes, ascending (odometer advance order)
 
 	// order lists every count-vector state in non-decreasing total
 	// destination count (counting-sorted; ascending state within a layer);
@@ -100,13 +118,37 @@ type DP struct {
 	// flag drops (sticky) and later layers use the exhaustive column scan.
 	// Pruning a layer-t state only consults values in layers < t, all of
 	// which were checked before layer t started, so results stay exact for
-	// every input. Atomic because parallel fill workers share it.
+	// every input. Atomic because parallel fill workers share it; workers
+	// record violations locally and merge them at each layer barrier, so
+	// the flag is read once per layer and written at most once per fill.
 	monotonePivot atomic.Bool
 
+	// evalCols counts the odometer columns evalState actually examined
+	// (i.e. not skipped wholesale by a cascade block bound) across all
+	// fills of this DP — the pruning-effectiveness denominator. Each
+	// evalState call adds its local tally once.
+	evalCols atomic.Int64
+	// noCascade disables the nested block skip; tests use it to prove the
+	// skip changes iteration counts but never values or choices.
+	noCascade bool
+
 	// Scratch for the sequential fill path; parallel workers carry their
-	// own (see FillAllParallel).
-	scratchVec []int
-	scratchY   []int
+	// own (see fillLayerRange).
+	seqScratch fillScratch
+}
+
+// fillScratch is the per-goroutine scratch a fill worker threads through
+// fillOne/evalState: the decoded count vector, the split odometer, and
+// the per-reservation block-corner offsets of the cascade levels.
+type fillScratch struct {
+	vec    []int
+	y      []int
+	corner []int64
+}
+
+func (dp *DP) newScratch() fillScratch {
+	k := len(dp.types)
+	return fillScratch{vec: make([]int, k), y: make([]int, k), corner: make([]int64, len(dp.odo))}
 }
 
 const unknown = int64(-1)
@@ -128,8 +170,11 @@ func New(latency int64, types []Type, counts []int) (*DP, error) {
 	}
 	dp.choice = make([]uint64, total)
 	dp.pmin = make([]int64, total)
-	dp.scratchVec = make([]int, k)
-	dp.scratchY = make([]int, k)
+	dp.cascade = make([][]int64, k-1)
+	for d := range dp.cascade {
+		dp.cascade[d] = make([]int64, total)
+	}
+	dp.seqScratch = dp.newScratch()
 	dp.monotonePivot.Store(true)
 	dp.buildLayers()
 	return dp, nil
@@ -189,6 +234,12 @@ func newGeometry(latency int64, types []Type, counts []int) (*DP, error) {
 	}
 	if total := int64(k) * dp.prod; total > MaxStates {
 		return nil, fmt.Errorf("exact: state space too large: %d states (> %d)", total, MaxStates)
+	}
+	dp.odo = make([]int, 0, k-1)
+	for j := 0; j < k; j++ {
+		if j != dp.pivot {
+			dp.odo = append(dp.odo, j)
+		}
 	}
 	dp.planeOf = make([]int32, k)
 	for j := range dp.types {
@@ -348,32 +399,56 @@ func (dp *DP) checkQuery(srcType int, counts []int) error {
 
 // evalState evaluates the Lemma 4 recurrence for state (s, vecState). Every
 // state with a strictly smaller destination total must already be in
-// dp.value (the layered fill guarantees it). vec must hold the decoded
-// vecState on entry and is only read; y is odometer scratch. Both have
-// length k.
+// dp.value (the layered fill guarantees it). sc.vec must hold the decoded
+// vecState on entry and is only read; sc.y/sc.corner are scratch.
 //
-// With pruned set, instead of scanning every split y with a blind
-// odometer, the inner loop exploits monotonicity of T along the pivot
-// axis (established for all already-filled layers, see monotonePivot):
-// along the pivot axis, with all other coordinates fixed, the subtree
-// term a(y) = T(l, y) + S + L + R(l) is non-decreasing and the remainder
-// term b(y) = T(s, i - e_l - y) + S is non-increasing, so max(a, b) is
-// valley-shaped and its column minimum sits at the a/b crossover, found
-// by binary search. A per-column lower bound max(min a, min b) against
-// the running best skips dominated columns in two lookups. The scan is
-// exhaustive over the remaining axes, so the returned value is the exact
-// minimum, bit-identical to the full scan. Callers must pass pruned=false
-// once a pivot-axis monotonicity violation has been observed; the column
-// is then scanned exhaustively.
-func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64, uint64) {
+// The outer odometer walks the splits column by column (a column fixes
+// the non-pivot coordinates and varies the pivot). Three pruning layers
+// keep the walk from touching dominated splits, the first two exact and
+// unconditional, the third guarded:
+//
+//  1. Nested block skip. Whenever the first d odometer axes sit at zero,
+//     the splits visited until axis d would advance form a box: the pivot
+//     axis and those d axes ranging from zero to their caps, every other
+//     coordinate fixed. cascade[d-1] holds the exact minimum of the
+//     subtree term T(l, ·) over that box (indexed at the box's max
+//     corner), and — because the remainder base's boxed coordinates equal
+//     the caps — the exact minimum of the remainder term T(s, base-·)
+//     too (indexed at the remainder of the box's min corner). If even
+//     max(min a, min b) cannot beat the running best, no split in the
+//     block can, and the odometer advances straight from axis d, skipping
+//     the whole block. Checked widest-first; a failed wide bound still
+//     leaves the narrower (hence tighter) levels worth trying. No
+//     monotonicity assumption: these are exact box minima.
+//  2. Column skip. Per surviving column, the same bound one level down
+//     (pivot-only prefix minima, pmin) skips the column in two lookups.
+//  3. Crossover search. With pruned set, the inner loop exploits
+//     monotonicity of T along the pivot axis (established for all
+//     already-filled layers, see monotonePivot): along the column the
+//     subtree term a(t) = T(l, y) + S + L + R(l) is non-decreasing and
+//     the remainder term b(t) = T(s, i - e_l - y) + S is non-increasing,
+//     so max(a, b) is valley-shaped and its minimum sits at the a/b
+//     crossover, found by binary search. Callers must pass pruned=false
+//     once a pivot-axis monotonicity violation has been observed; the
+//     column is then scanned exhaustively.
+//
+// Every skip discards only splits that provably cannot improve on the
+// running best, and updates are strictly improving, so the result —
+// value and tie-broken choice alike — is bit-identical to the blind
+// exhaustive scan.
+func (dp *DP) evalState(s int, vecState int64, sc *fillScratch, pruned bool) (int64, uint64) {
 	k := len(dp.types)
 	S, L := dp.types[s].Send, dp.latency
 	p := dp.pivot
 	sp := dp.strides[p]
-	bVal := dp.value[int64(dp.planeOf[s])*dp.prod:]
-	bPmin := dp.pmin[int64(dp.planeOf[s])*dp.prod:]
+	sPlane := int64(dp.planeOf[s]) * dp.prod
+	bVal := dp.value[sPlane:]
+	bPmin := dp.pmin[sPlane:]
+	vec, y, corner := sc.vec, sc.y, sc.corner
+	m := len(dp.odo)
 	best := inf
 	var bestChoice uint64
+	var cols int64
 	for l := 0; l < k; l++ {
 		if vec[l] == 0 {
 			continue
@@ -381,11 +456,24 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 		// Reserve the node of type l that receives first.
 		baseState := vecState - dp.strides[l]
 		addA := S + L + dp.types[l].Recv
-		aVal := dp.value[int64(dp.planeOf[l])*dp.prod:]
-		aPmin := dp.pmin[int64(dp.planeOf[l])*dp.prod:]
+		lPlane := int64(dp.planeOf[l]) * dp.prod
+		aVal := dp.value[lPlane:]
+		aPmin := dp.pmin[lPlane:]
 		cp := vec[p]
 		if p == l {
 			cp--
+		}
+		// corner[d] is the encoded offset from a level-(d+1) block start
+		// to the block's max corner: cp along the pivot plus this
+		// reservation's caps along the first d+1 odometer axes.
+		corn := int64(cp) * sp
+		for d, ax := range dp.odo {
+			capax := vec[ax]
+			if ax == l {
+				capax--
+			}
+			corn += int64(capax) * dp.strides[ax]
+			corner[d] = corn
 		}
 		// Odometer over the non-pivot axes; yOuter is the encoded partial
 		// split. Splits y <= base componentwise encode without carries, so
@@ -394,62 +482,58 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 			y[j] = 0
 		}
 		var yOuter int64
+		// lvl counts the leading odometer axes currently at zero: the
+		// current position starts a block at every level 1..lvl.
+		lvl := m
 		for {
-			// Column {yOuter + t*sp : 0 <= t <= cp}. The exact minima of
-			// the subtree term a(t) and the remainder term b(t) over the
-			// column come from the pivot prefix minima in O(1): both
-			// ranges start at pivot coordinate 0 and end at cp, so each
-			// is a prefix. max of the two is a sound lower bound on
-			// min max(a, b) with no monotonicity assumption; a column
-			// that cannot beat the running best is skipped outright.
-			aMin := aPmin[yOuter+int64(cp)*sp] + addA
-			bMin := bPmin[baseState-yOuter] + S
-			lb := aMin
-			if bMin > lb {
-				lb = bMin
+			skipFrom := -1
+			if !dp.noCascade {
+				for d := lvl; d >= 1; d-- {
+					casc := dp.cascade[d-1]
+					aMin := casc[lPlane+yOuter+corner[d-1]] + addA
+					bMin := casc[sPlane+baseState-yOuter] + S
+					lb := aMin
+					if bMin > lb {
+						lb = bMin
+					}
+					if lb >= best {
+						skipFrom = d
+						break
+					}
+				}
 			}
-			if lb < best {
-				if pruned {
-					// Binary search the smallest t with a(t) >= b(t); the
-					// column minimum is min(b(t-1), a(t)).
-					lo, hi := 0, cp
-					for lo < hi {
-						mid := int(uint(lo+hi) >> 1)
-						ys := yOuter + int64(mid)*sp
-						if aVal[ys]+addA >= bVal[baseState-ys]+S {
-							hi = mid
-						} else {
-							lo = mid + 1
+			if skipFrom < 0 {
+				cols++
+				skipFrom = 0
+				// Column {yOuter + t*sp : 0 <= t <= cp}. The exact minima
+				// of the subtree term a(t) and the remainder term b(t)
+				// over the column come from the pivot prefix minima in
+				// O(1): both ranges start at pivot coordinate 0 and end at
+				// cp, so each is a prefix. max of the two is a sound lower
+				// bound on min max(a, b) with no monotonicity assumption;
+				// a column that cannot beat the running best is skipped
+				// outright.
+				aMin := aPmin[yOuter+int64(cp)*sp] + addA
+				bMin := bPmin[baseState-yOuter] + S
+				lb := aMin
+				if bMin > lb {
+					lb = bMin
+				}
+				if lb < best {
+					if pruned {
+						// Binary search the smallest t with a(t) >= b(t);
+						// the column minimum is min(b(t-1), a(t)).
+						lo, hi := 0, cp
+						for lo < hi {
+							mid := int(uint(lo+hi) >> 1)
+							ys := yOuter + int64(mid)*sp
+							if aVal[ys]+addA >= bVal[baseState-ys]+S {
+								hi = mid
+							} else {
+								lo = mid + 1
+							}
 						}
-					}
-					yState := yOuter + int64(lo)*sp
-					a := aVal[yState] + addA
-					b := bVal[baseState-yState] + S
-					v := a
-					if b > v {
-						v = b
-					}
-					if v < best {
-						best = v
-						bestChoice = uint64(l)<<40 | uint64(yState)
-					}
-					if lo > 0 {
-						yState -= sp
-						a = aVal[yState] + addA
-						b = bVal[baseState-yState] + S
-						v = a
-						if b > v {
-							v = b
-						}
-						if v < best {
-							best = v
-							bestChoice = uint64(l)<<40 | uint64(yState)
-						}
-					}
-				} else {
-					// Exhaustive column scan: sound without monotonicity.
-					for t := 0; t <= cp; t++ {
-						yState := yOuter + int64(t)*sp
+						yState := yOuter + int64(lo)*sp
 						a := aVal[yState] + addA
 						b := bVal[baseState-yState] + S
 						v := a
@@ -460,34 +544,71 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 							best = v
 							bestChoice = uint64(l)<<40 | uint64(yState)
 						}
+						if lo > 0 {
+							yState -= sp
+							a = aVal[yState] + addA
+							b = bVal[baseState-yState] + S
+							v = a
+							if b > v {
+								v = b
+							}
+							if v < best {
+								best = v
+								bestChoice = uint64(l)<<40 | uint64(yState)
+							}
+						}
+					} else {
+						// Exhaustive column scan: sound without monotonicity.
+						for t := 0; t <= cp; t++ {
+							yState := yOuter + int64(t)*sp
+							a := aVal[yState] + addA
+							b := bVal[baseState-yState] + S
+							v := a
+							if b > v {
+								v = b
+							}
+							if v < best {
+								best = v
+								bestChoice = uint64(l)<<40 | uint64(yState)
+							}
+						}
 					}
 				}
 			}
-			// Advance the outer odometer.
-			j := 0
-			for ; j < k; j++ {
-				if j == p {
-					continue
+			// Advance the outer odometer, starting at odometer axis
+			// skipFrom (every lower axis is already zero there: either we
+			// just processed a column, skipFrom = 0, or a level-skipFrom
+			// block start, whose leading axes are zero by definition).
+			j := skipFrom
+			for ; j < m; j++ {
+				ax := dp.odo[j]
+				capax := vec[ax]
+				if ax == l {
+					capax--
 				}
-				capj := vec[j]
-				if j == l {
-					capj--
-				}
-				if y[j] < capj {
-					y[j]++
-					yOuter += dp.strides[j]
+				if y[ax] < capax {
+					y[ax]++
+					yOuter += dp.strides[ax]
 					break
 				}
-				yOuter -= int64(y[j]) * dp.strides[j]
-				y[j] = 0
+				yOuter -= int64(y[ax]) * dp.strides[ax]
+				y[ax] = 0
 			}
-			if j == k {
+			if j == m {
 				break
 			}
+			lvl = j
 		}
 	}
+	dp.evalCols.Add(cols)
 	return best, bestChoice
 }
+
+// EvalColumns returns the cumulative number of odometer columns
+// evalState examined (not skipped wholesale by a cascade block bound)
+// across every fill on this DP. Benchmarks and the pruning-effectiveness
+// tests compare it between cascade-enabled and cascade-disabled fills.
+func (dp *DP) EvalColumns() int64 { return dp.evalCols.Load() }
 
 // fillBox evaluates every unknown state (all source types) whose count
 // vector is componentwise within limit (nil = no limit, the full table),
@@ -497,51 +618,69 @@ func (dp *DP) evalState(s int, vecState int64, vec, y []int, pruned bool) (int64
 // the whole state space.
 func (dp *DP) fillBox(limit []int) {
 	if limit == nil {
-		dp.fillStates(dp.order, dp.layerOff)
+		dp.fillStates(dp.order, dp.layerOff, 0, len(dp.layerOff)-1)
 		return
 	}
 	order, layerOff := dp.countingSortBox(limit)
-	dp.fillStates(order, layerOff)
+	dp.fillStates(order, layerOff, 0, len(layerOff)-1)
 }
 
-// fillStates evaluates the listed states in layer order (every referenced
-// sub-state must appear in an earlier layer or already be known). The
-// pruning flag is sampled per layer: pruning a layer-t state only
-// consults layers < t, whose pivot-axis monotonicity was checked as they
-// were written, so a violation surfacing in layer t disables pruning from
-// layer t+1 without invalidating anything already computed.
-func (dp *DP) fillStates(order []int32, layerOff []int32) {
-	vec, y := dp.scratchVec, dp.scratchY
-	for t := 0; t < len(layerOff)-1; t++ {
+// fillStates evaluates the listed states of layers [lo, hi) in layer
+// order (every referenced sub-state must appear in an earlier layer or
+// already be known). The pruning flag is sampled per layer and
+// violations observed inside a layer are folded back at its end: pruning
+// a layer-t state only consults layers < t, whose pivot-axis
+// monotonicity was checked before layer t started, so a violation
+// surfacing in layer t disables pruning from layer t+1 without
+// invalidating anything already computed.
+func (dp *DP) fillStates(order []int32, layerOff []int32, lo, hi int) {
+	sc := &dp.seqScratch
+	for t := lo; t < hi; t++ {
 		pruned := dp.monotonePivot.Load()
+		violated := false
 		for i := layerOff[t]; i < layerOff[t+1]; i++ {
 			vecState := int64(order[i])
-			dp.decodeVec(vecState, vec)
+			dp.decodeVec(vecState, sc.vec)
 			for _, s := range dp.planeSrc {
-				dp.fillOne(s, t, vecState, vec, y, pruned)
+				if dp.fillOne(s, t, vecState, sc, pruned) {
+					violated = true
+				}
 			}
+		}
+		if violated {
+			dp.monotonePivot.Store(false)
 		}
 	}
 }
 
 // fillOne evaluates one state (s, vecState) of layer t, maintaining the
-// value, choice and pivot prefix-minimum tables and the monotonicity
-// flag. Already-known states are left untouched. vec must hold the
-// decoded vecState; y is odometer scratch. Shared by the sequential and
-// parallel fills so their results stay bit-identical by construction.
-func (dp *DP) fillOne(s, t int, vecState int64, vec, y []int, pruned bool) {
+// value, choice and nested prefix-minimum tables, and reports whether
+// the new value violates pivot-axis monotonicity (the caller folds
+// violations into monotonePivot at its layer barrier). Already-known
+// states are left untouched. sc.vec must hold the decoded vecState.
+// Shared by the sequential and parallel fills so their results stay
+// bit-identical by construction.
+func (dp *DP) fillOne(s, t int, vecState int64, sc *fillScratch, pruned bool) bool {
 	idx := dp.stateIndex(s, vecState)
 	if dp.value[idx] != unknown {
-		return
+		return false
 	}
 	if t == 0 {
 		dp.value[idx] = 0
-		dp.pmin[idx] = 0
-		return
+		return dp.notePruneState(idx, sc.vec, 0)
 	}
-	v, ch := dp.evalState(s, vecState, vec, y, pruned)
+	v, ch := dp.evalState(s, vecState, sc, pruned)
 	dp.value[idx] = v
 	dp.choice[idx] = ch
+	return dp.notePruneState(idx, sc.vec, v)
+}
+
+// notePruneState folds a freshly written state (index idx, count vector
+// vec, value v) into the pivot prefix minima and the nested cascade,
+// reporting whether the value violates pivot-axis monotonicity. Each
+// level extends the previous one along a single axis whose predecessor
+// sits one layer down and is therefore final during a layered fill.
+func (dp *DP) notePruneState(idx int64, vec []int, v int64) (violated bool) {
 	pm := v
 	if vec[dp.pivot] > 0 {
 		sp := dp.strides[dp.pivot]
@@ -549,58 +688,236 @@ func (dp *DP) fillOne(s, t int, vecState int64, vec, y []int, pruned bool) {
 			pm = prev
 		}
 		if v < dp.value[idx-sp] {
-			dp.monotonePivot.Store(false)
+			violated = true
 		}
 	}
 	dp.pmin[idx] = pm
+	for d, ax := range dp.odo {
+		casc := dp.cascade[d]
+		if vec[ax] > 0 {
+			if prev := casc[idx-dp.strides[ax]]; prev < pm {
+				pm = prev
+			}
+		}
+		casc[idx] = pm
+	}
+	return violated
+}
+
+// releasePruneState frees the fill-only prefix-minimum tables once every
+// state is filled. Past that point no fill path can reach them (fillOne
+// returns early on every known state), and dropping them cuts a cached
+// heap table's resident cost to just the value and choice planes —
+// matching what a table loaded from disk costs.
+func (dp *DP) releasePruneState() {
+	for _, v := range dp.value {
+		if v == unknown {
+			return
+		}
+	}
+	dp.pmin = nil
+	dp.cascade = nil
 }
 
 // FillAll evaluates every state (all source types, all count vectors up to
 // the per-type limits), realizing the precomputed table of Theorem 2's
 // closing remark. After FillAll every Optimal call is a constant-time
 // lookup.
-func (dp *DP) FillAll() { dp.fillBox(nil) }
+func (dp *DP) FillAll() {
+	dp.fillBox(nil)
+	dp.releasePruneState()
+}
 
-// FillAllParallel is FillAll with the per-layer work sharded across up to
+// FillAllParallel is FillAll with each layer's work sharded across up to
 // workers goroutines (0 selects GOMAXPROCS). Layers are barriers: layer t
 // only starts once every state of layers < t is written, which is exactly
 // the dependency structure of the recurrence, so the result -- values and
 // reconstruction choices alike -- is deterministic and identical to the
 // sequential fill regardless of scheduling.
 func (dp *DP) FillAllParallel(workers int) {
-	if workers == 1 {
-		dp.fillBox(nil)
-		return
-	}
 	// More workers than cores never helps a CPU-bound fill, and the count
 	// can arrive from the network (/v1/table's parallelism field), so
 	// clamp before sizing any per-worker state.
 	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	k := len(dp.types)
-	type scratch struct {
-		vec, y []int
+	if workers == 1 {
+		dp.FillAll()
+		return
 	}
-	scr := make([]scratch, workers)
+	dp.fillLayerRange(0, len(dp.layerOff)-1, workers)
+	dp.releasePruneState()
+}
+
+// LayerCount returns the number of fill layers: the maximum total
+// destination count plus one. Layer t holds the states with total t.
+func (dp *DP) LayerCount() int { return len(dp.layerOff) - 1 }
+
+// LayerStates returns how many count-vector states layer t has (per
+// source plane).
+func (dp *DP) LayerStates(t int) int { return int(dp.layerOff[t+1] - dp.layerOff[t]) }
+
+// FillLayers evaluates every state whose destination total lies in
+// [lo, hi) across up to workers goroutines (1 = sequential, 0 =
+// GOMAXPROCS). Every layer below lo must already be filled — by an
+// earlier FillLayers call or ingested from a band (IngestBand). This is
+// the unit of fleet-distributed builds: disjoint contiguous layer bands
+// filled in ascending order, on whichever replica, compose into exactly
+// the table FillAll produces.
+func (dp *DP) FillLayers(lo, hi, workers int) error {
+	if lo < 0 || hi > dp.LayerCount() || lo > hi {
+		return fmt.Errorf("exact: layer band [%d,%d) outside [0,%d]", lo, hi, dp.LayerCount())
+	}
+	if dp.pmin == nil {
+		return fmt.Errorf("exact: fill state already released (table is fully filled)")
+	}
+	for i := int32(0); i < dp.layerOff[lo]; i++ {
+		vecState := int64(dp.order[i])
+		for _, s := range dp.planeSrc {
+			if dp.value[dp.stateIndex(s, vecState)] == unknown {
+				return fmt.Errorf("exact: layer band [%d,%d) requested with unfilled lower layers", lo, hi)
+			}
+		}
+	}
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		dp.fillStates(dp.order, dp.layerOff, lo, hi)
+	} else {
+		dp.fillLayerRange(lo, hi, workers)
+	}
+	return nil
+}
+
+// rebuildPruneState recomputes the prefix-minimum tables and the
+// monotonicity flag over layers [lo, hi) from already-present values
+// (e.g. ingested from a band), restoring exactly the state a live fill
+// of those layers would have left behind.
+func (dp *DP) rebuildPruneState(lo, hi int) {
+	vec := dp.seqScratch.vec
+	violated := false
+	for i := dp.layerOff[lo]; i < dp.layerOff[hi]; i++ {
+		vecState := int64(dp.order[i])
+		dp.decodeVec(vecState, vec)
+		for _, s := range dp.planeSrc {
+			idx := dp.stateIndex(s, vecState)
+			if dp.notePruneState(idx, vec, dp.value[idx]) {
+				violated = true
+			}
+		}
+	}
+	if violated {
+		dp.monotonePivot.Store(false)
+	}
+}
+
+// smallLayerFill is the state-evaluation count below which a layer is
+// coalesced onto the coordinator instead of woken across the pool: the
+// barrier handshake costs more than evaluating a handful of tiny states.
+const smallLayerFill = 128
+
+// layerTask is the shared descriptor of one layer's parallel fill;
+// workers claim contiguous chunks of the layer's order span through the
+// atomic cursor, so shard sizes adapt to however unevenly the per-state
+// cost is distributed (work stealing, not uniform pre-sharding).
+type layerTask struct {
+	off    int
+	n      int
+	t      int
+	chunk  int64
+	pruned bool
+	cursor atomic.Int64
+}
+
+// runLayer drains the layer task with one worker's scratch, reporting
+// whether any computed state violated pivot-axis monotonicity.
+func (dp *DP) runLayer(lt *layerTask, sc *fillScratch) (violated bool) {
+	for {
+		start := lt.cursor.Add(lt.chunk) - lt.chunk
+		if start >= int64(lt.n) {
+			return violated
+		}
+		end := start + lt.chunk
+		if end > int64(lt.n) {
+			end = int64(lt.n)
+		}
+		for i := int(start); i < int(end); i++ {
+			vecState := int64(dp.order[lt.off+i])
+			dp.decodeVec(vecState, sc.vec)
+			for _, s := range dp.planeSrc {
+				if dp.fillOne(s, lt.t, vecState, sc, lt.pruned) {
+					violated = true
+				}
+			}
+		}
+	}
+}
+
+// fillLayerRange fills layers [lo, hi) of the full-box order with a pool
+// of workers spawned once for the whole range (the old per-layer
+// goroutine spawn dominated small layers and was the w>1 allocation
+// regression). Per layer the coordinator publishes the task, wakes the
+// pool with one token each, participates itself, and waits the barrier
+// out; layers too small to amortize the handshake are filled inline.
+// Workers observe monotonicity violations locally and the coordinator
+// merges them at the barrier, so the next layer's pruned sample sees
+// them exactly as it would in the sequential fill.
+func (dp *DP) fillLayerRange(lo, hi, workers int) {
+	scr := make([]fillScratch, workers)
 	for w := range scr {
-		scr[w] = scratch{vec: make([]int, k), y: make([]int, k)}
+		scr[w] = dp.newScratch()
 	}
-	for t := 0; t < len(dp.layerOff)-1; t++ {
+	lt := &layerTask{}
+	violated := make([]bool, workers)
+	work := make(chan struct{}, workers-1)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			for range work {
+				if dp.runLayer(lt, &scr[w]) {
+					violated[w] = true
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	for t := lo; t < hi; t++ {
 		off := int(dp.layerOff[t])
 		n := int(dp.layerOff[t+1]) - off
+		if n == 0 {
+			continue
+		}
 		// Sampled at the layer barrier, exactly like the sequential fill,
 		// so values and choices stay bit-identical to it.
 		pruned := dp.monotonePivot.Load()
-		batch.ForEach(workers, n, func(w, i int) {
-			vecState := int64(dp.order[off+i])
-			sc := &scr[w]
-			dp.decodeVec(vecState, sc.vec)
-			for _, s := range dp.planeSrc {
-				dp.fillOne(s, t, vecState, sc.vec, sc.y, pruned)
+		lt.off, lt.n, lt.t, lt.pruned = off, n, t, pruned
+		if n*len(dp.planeSrc) < smallLayerFill {
+			lt.chunk = int64(n)
+			lt.cursor.Store(0)
+			if dp.runLayer(lt, &scr[0]) {
+				violated[0] = true
 			}
-		})
+		} else {
+			lt.chunk = batch.Chunk(n, workers)
+			lt.cursor.Store(0)
+			wg.Add(workers - 1)
+			for w := 1; w < workers; w++ {
+				work <- struct{}{}
+			}
+			if dp.runLayer(lt, &scr[0]) {
+				violated[0] = true
+			}
+			wg.Wait()
+		}
+		for w := range violated {
+			if violated[w] {
+				dp.monotonePivot.Store(false)
+				violated[w] = false
+			}
+		}
 	}
+	close(work)
 }
 
 // typeTree is an optimal schedule expressed over types rather than node

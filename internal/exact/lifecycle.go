@@ -90,5 +90,12 @@ func (t *Table) SizeBytes() int64 {
 	if mapped != nil {
 		return int64(len(mapped))
 	}
-	return 8 * int64(len(t.dp.value)+len(t.dp.choice)+len(t.dp.pmin))
+	n := len(t.dp.value) + len(t.dp.choice) + len(t.dp.pmin)
+	for _, c := range t.dp.cascade {
+		// Fully built tables have released the prefix-minimum state, so
+		// this counts nothing on the usual cache path; it only matters for
+		// a table wrapped around a partially filled DP.
+		n += len(c)
+	}
+	return 8 * int64(n)
 }

@@ -318,11 +318,10 @@ func readTableBytes(data []byte) (*Table, error) {
 	}
 	dp.value = value
 	dp.choice = choice
-	dp.scratchVec = make([]int, len(dp.types))
-	dp.scratchY = make([]int, len(dp.types))
+	dp.seqScratch = dp.newScratch()
 	dp.monotonePivot.Store(true)
-	// No pmin and no layer ordering: a loaded table is fully filled, so
-	// every fill path that would need them is unreachable.
+	// No pmin/cascade and no layer ordering: a loaded table is fully
+	// filled, so every fill path that would need them is unreachable.
 	return &Table{dp: dp}, nil
 }
 

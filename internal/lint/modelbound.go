@@ -24,6 +24,13 @@ var modelBoundSinks = map[string]int{
 	"repro/internal/trace.SVG":                    0,
 	"repro.ComputeTimes":                          0,
 	"repro.CompletionTime":                        0,
+	// The exact DP scores under the base model by construction: feeding
+	// it a model-bound schedule's Set silently compares across models.
+	"repro/internal/exact.OptimalRT":          0,
+	"repro/internal/exact.Schedule":           0,
+	"(*repro/internal/exact.DP).ScheduleFor":  0,
+	"repro/internal/exact.BuildTable":         0,
+	"repro/internal/exact.BuildTableParallel": 0,
 }
 
 // Calls whose schedule result may arrive bound to a non-base cost model.
@@ -60,6 +67,8 @@ type mbTaint struct {
 // flowing from BindModel, heur.ModelGreedy, wan.Topology.Greedy, or the
 // schedulers registry.LookupFor/SchedulersFor/SelectFor hand out) must
 // not reach a base-model-only helper without an intervening model check.
+// The exact solver's entry points are sinks too — via the schedule's
+// .Set field, since exact scores under the base model by construction.
 //
 // The analysis is intra-procedural and statement-ordered: a taint is
 // cleared by a later call to model.IsBase(...) naming the schedule (or
@@ -205,6 +214,16 @@ func runModelBound(pass *Pass, body *ast.BlockStmt) {
 							pass.Reportf(n.Pos(), "%s is called on %q, which may be model-bound (%s); check model.IsBase(%s.Model()) first or evaluate with model.EvalTimes/an Engine",
 								shortName(full), exprName(arg), t.src, exprName(arg))
 						}
+					} else if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Set" {
+						// sch.Set flowing into an exact entry point: the
+						// solver scores under the base model regardless of
+						// what the schedule is bound to.
+						if recv := identObject(pass.Info, sel.X); recv != nil {
+							if t := sched[recv]; t != nil {
+								pass.Reportf(n.Pos(), "%s is called on %q, whose schedule may be model-bound (%s); the exact solver scores under the base model — check model.IsBase(%s.Model()) first",
+									shortName(full), exprName(arg), t.src, exprName(sel.X))
+							}
+						}
 					} else if call, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
 						if t := taintedResult(call); t != nil {
 							pass.Reportf(n.Pos(), "%s is called directly on a %s, which may be model-bound; check the model first or evaluate with model.EvalTimes/an Engine",
@@ -249,8 +268,13 @@ func lastIndexByte(s string, b byte) int {
 
 // exprName renders a simple expression for a diagnostic.
 func exprName(e ast.Expr) string {
-	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
-		return id.Name
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
 	}
 	return "the schedule"
 }

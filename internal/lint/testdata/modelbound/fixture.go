@@ -5,6 +5,7 @@
 package modelbound
 
 import (
+	"repro/internal/exact"
 	"repro/internal/heur"
 	"repro/internal/model"
 	"repro/internal/registry"
@@ -124,6 +125,42 @@ func evalThroughEngine(g heur.ModelGreedy, set *model.MulticastSet) (int64, erro
 // plainScheduleClean: a schedule from nowhere suspicious stays clean.
 func plainScheduleClean(sch *model.Schedule) int64 {
 	return model.RT(sch)
+}
+
+// exactCrossModel compares a WAN-bound schedule against the exact
+// base-model optimum through its own Set: the ratio silently crosses
+// cost models.
+func exactCrossModel(topo *wan.Topology) (int64, error) {
+	sch, err := topo.Greedy()
+	if err != nil {
+		return 0, err
+	}
+	return exact.OptimalRT(sch.Set) // want "may be model-bound"
+}
+
+// exactEntryPoints: every exact entry point is base-only by
+// construction, so a bound schedule's Set is flagged at each of them.
+func exactEntryPoints(dp *exact.DP, sch *model.Schedule, cm model.CostModel) {
+	sch.BindModel(cm)
+	exact.Schedule(sch.Set)              // want "may be model-bound"
+	exact.BuildTable(sch.Set)            // want "may be model-bound"
+	dp.ScheduleFor(sch.Set, 0, nil, nil) // want "may be model-bound"
+	exact.BuildTableParallel(sch.Set, 4) // want "may be model-bound"
+}
+
+// exactGuarded: the IsBase guard clears the schedule before its Set
+// reaches the solver.
+func exactGuarded(sch *model.Schedule, cm model.CostModel) (int64, error) {
+	sch.BindModel(cm)
+	if !model.IsBase(sch.Model()) {
+		return 0, nil
+	}
+	return exact.OptimalRT(sch.Set)
+}
+
+// exactPlainSet: a set that never came off a tainted schedule is fine.
+func exactPlainSet(set *model.MulticastSet) (int64, error) {
+	return exact.OptimalRT(set)
 }
 
 // suppressed shows the escape hatch for a reviewed call site.

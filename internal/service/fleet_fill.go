@@ -1,0 +1,307 @@
+package service
+
+// Fleet-distributed table builds: one DP fill spread across the replicas.
+//
+// The layered fill is serially dependent — layer t reads layers < t — so
+// a single build cannot fan out all at once. What a fleet CAN do is chain
+// bands: the key's owner partitions the layer schedule into one
+// contiguous band per replica (weighted by estimated evaluation cost, so
+// the cheap low layers and the expensive high layers balance), fills the
+// lowest band itself, then walks the remaining bands in ascending order,
+// asking one peer per band to fill it (POST /v1/fleet/fill/{key}). Each
+// request carries the already-filled prefix as a values-only band (the
+// recurrence never reads choices, so shipping them would double the
+// request for nothing); the peer reconstructs a DP from the band's
+// geometry, ingests the prefix, fills its band with its own worker pool
+// and streams the band back with choices.
+//
+// Peers are untrusted by construction: the returned bytes cross the same
+// trust boundary as whole fetched tables. ReadBand checksums and
+// validates them, the owner cross-checks the covered range and geometry
+// against what it asked for, and IngestBand re-validates the layer
+// prerequisites; any failure trips the peer's circuit breaker and the
+// owner fills that band locally (counted in fill_band_errors /
+// fill_bands_local), so a degraded fleet still produces the table — the
+// same degradation contract as every other fleet path. Because disjoint
+// contiguous bands filled in ascending order compose into exactly the
+// table FillAll produces, the assembled table is bit-identical to a
+// local build and passes the .hnowtbl validation on every later fetch.
+//
+// The win is fleet-wide throughput, not single-build wall clock: while a
+// peer fills a band the owner's cores are free for other keys' builds and
+// for serving, and each band runs on the filling replica's full worker
+// pool. Small state spaces skip the protocol entirely
+// (FleetFillMinStates): shipping a prefix band costs more than filling a
+// few thousand states locally.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/exact"
+)
+
+var (
+	expFleetFillBuilds      = expvar.NewInt("hnowd.fleet.fill_builds")
+	expFleetFillBandsLocal  = expvar.NewInt("hnowd.fleet.fill_bands_local")
+	expFleetFillBandsRemote = expvar.NewInt("hnowd.fleet.fill_bands_remote")
+	expFleetFillBandsServed = expvar.NewInt("hnowd.fleet.fill_bands_served")
+	expFleetFillBandErrors  = expvar.NewInt("hnowd.fleet.fill_band_errors")
+)
+
+// defaultFleetFillMinStates is the DP size below which a fleet-fill owner
+// builds locally: under ~16k states the fill is faster than one prefix
+// round-trip.
+const defaultFleetFillMinStates = 1 << 14
+
+func (f *fleetState) fillBuild()      { f.fillBuilds.Add(1); expFleetFillBuilds.Add(1) }
+func (f *fleetState) fillBandLocal()  { f.fillBandsLocal.Add(1); expFleetFillBandsLocal.Add(1) }
+func (f *fleetState) fillBandRemote() { f.fillBandsRemote.Add(1); expFleetFillBandsRemote.Add(1) }
+func (f *fleetState) fillBandServed() { f.fillBandsServed.Add(1); expFleetFillBandsServed.Add(1) }
+func (f *fleetState) fillBandError()  { f.fillBandErrors.Add(1); expFleetFillBandErrors.Add(1) }
+
+// rank returns every ring member ordered by descending rendezvous score
+// for key: the owner first, then the deterministic band-assignment order.
+func (f *fleetState) rank(key string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring.Rank(key)
+}
+
+// fleetFillPath is the band-fill URL for a network key on a peer.
+func fleetFillPath(peer, key string) string {
+	return peer + "/v1/fleet/fill/" + url.PathEscape(key)
+}
+
+// bandCuts partitions the DP's fill layers into at most bands contiguous
+// non-empty bands, balanced by estimated evaluation cost: layer t holds
+// LayerStates(t) states whose evalState scans splits below total t, so
+// its cost grows like states · (t+1)^(k-1) (capped at cubic — pruning
+// flattens the higher exponents). The returned cuts have cuts[0] = 0 and
+// cuts[len-1] = LayerCount(); band b is [cuts[b], cuts[b+1]).
+func bandCuts(dp *exact.DP, bands int) []int {
+	layers := dp.LayerCount()
+	if bands > layers {
+		bands = layers
+	}
+	if bands < 1 {
+		bands = 1
+	}
+	exp := dp.K() - 1
+	if exp > 3 {
+		exp = 3
+	}
+	weight := make([]float64, layers)
+	remaining := 0.0
+	for t := range weight {
+		w := float64(dp.LayerStates(t))
+		for e := 0; e < exp; e++ {
+			w *= float64(t + 1)
+		}
+		weight[t] = w
+		remaining += w
+	}
+	cuts := make([]int, 1, bands+1)
+	t := 0
+	for b := 0; b < bands-1; b++ {
+		bandsLeft := bands - b
+		target := remaining / float64(bandsLeft)
+		limit := layers - (bandsLeft - 1) // leave one layer per later band
+		acc := 0.0
+		for t < limit && (acc <= 0 || acc < target) {
+			acc += weight[t]
+			t++
+		}
+		remaining -= acc
+		cuts = append(cuts, t)
+	}
+	return append(cuts, layers)
+}
+
+// fleetBuildTable is the tableCache build hook in fleet-fill mode
+// (Config.FleetFill): the distributed band chain described at the top of
+// this file. It runs on the key's owner, inside the owner's
+// single-flighted getOrBuild, so there is at most one band chain per key
+// fleet-wide. Any peer failure degrades that band to a local fill; the
+// hook only fails when the DP itself cannot be built.
+func (s *Server) fleetBuildTable(inst *exact.Instance, workers int) (*exact.Table, error) {
+	dp, err := inst.NewDP()
+	if err != nil {
+		return nil, err
+	}
+	f := s.fleet
+	key := networkKey(inst.Set.Latency, inst.Types, inst.Counts)
+	members := f.rank(key)
+	if dp.States() < f.fillMinStates || len(members) < 2 {
+		dp.FillAllParallel(workers)
+		return dp.FinishTable()
+	}
+	f.fillBuild()
+	cuts := bandCuts(dp, len(members))
+	if err := dp.FillLayers(cuts[0], cuts[1], workers); err != nil {
+		return nil, err
+	}
+	f.fillBandLocal()
+	// The build hook runs detached from any one client request (the whole
+	// cohort waiting on the flight shares its outcome), so peer calls are
+	// bounded by the build timeout alone.
+	ctx := context.Background()
+	for b := 1; b < len(cuts)-1; b++ {
+		lo, hi := cuts[b], cuts[b+1]
+		peer := members[b]
+		if peer != f.self && s.fillBandRemotely(ctx, peer, key, dp, lo, hi, workers) {
+			continue
+		}
+		if peer != f.self {
+			f.fillBandError()
+		}
+		if err := dp.FillLayers(lo, hi, workers); err != nil {
+			return nil, err
+		}
+		f.fillBandLocal()
+	}
+	return dp.FinishTable()
+}
+
+// fillBandRemotely asks peer to fill layers [lo, hi) of the keyed DP:
+// it streams the already-filled prefix [0, lo) values-only, validates the
+// returned band against what was asked for, and ingests it. It reports
+// whether the band landed; on false the caller fills locally, and any
+// malformed response has been charged to the peer.
+func (s *Server) fillBandRemotely(ctx context.Context, peer, key string, dp *exact.DP, lo, hi, workers int) bool {
+	var prefix bytes.Buffer
+	if _, err := dp.WriteBand(&prefix, 0, lo, false); err != nil {
+		return false
+	}
+	data, err := s.fleet.postFillBand(ctx, peer, key, prefix.Bytes(), hi, workers)
+	if err != nil {
+		return false // transport failures and refusals already counted by doPeer
+	}
+	band, err := exact.ReadBand(data)
+	if err != nil || band.Lo != lo || band.Hi != hi || !band.HasChoices() {
+		s.fleet.recordBadPeer(peer)
+		return false
+	}
+	if got := networkKey(band.Latency(), band.Types(), band.Counts()); got != key {
+		s.fleet.recordBadPeer(peer)
+		return false
+	}
+	if err := dp.IngestBand(band); err != nil {
+		s.fleet.recordBadPeer(peer)
+		return false
+	}
+	s.fleet.fillBandRemote()
+	return true
+}
+
+// postFillBand POSTs a prefix band to peer and returns the raw bytes of
+// the band the peer filled. The request is bounded by the build timeout
+// (the peer runs a DP fill); a 422 surfaces as *peerRejectedError.
+func (f *fleetState) postFillBand(ctx context.Context, peer, key string, prefix []byte, hi, workers int) (data []byte, err error) {
+	err = f.doPeer(peer, func() error {
+		ctx, cancel := context.WithTimeout(ctx, f.buildTimeout)
+		defer cancel()
+		u := fleetFillPath(peer, key) + "?hi=" + strconv.Itoa(hi) + "&workers=" + strconv.Itoa(workers)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(prefix))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			var apiErr apiError
+			if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+				return &peerRejectedError{Status: resp.StatusCode, Msg: apiErr.Error}
+			}
+			return &peerRejectedError{Status: resp.StatusCode, Msg: string(msg)}
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("POST fleet fill: HTTP %d", resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	return data, err
+}
+
+// handleFleetFill serves POST /v1/fleet/fill/{key}: fill one layer band
+// on behalf of the key's owner. The body is the owner's already-filled
+// prefix as a values-only band; ?hi names the first layer NOT to fill
+// and ?workers caps this replica's fill pool (0 = server default). The
+// response is the raw bytes of band [prefix.Hi, hi) with choices. The
+// prefix crosses a trust boundary like any peer bytes: ReadBand's
+// checksum + invariant validation rejects garbage with 422 before any
+// fill work runs.
+func (s *Server) handleFleetFill(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("fleet mode disabled"))
+		return
+	}
+	key := r.PathValue("key")
+	hi, err := strconv.Atoi(r.URL.Query().Get("hi"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"hi\" parameter: %v", err))
+		return
+	}
+	workers := 0
+	if v := r.URL.Query().Get("workers"); v != "" {
+		if workers, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"workers\" parameter: %v", err))
+			return
+		}
+	}
+	if workers <= 0 {
+		workers = s.tableWorkers
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading prefix band: %v", err))
+		return
+	}
+	band, err := exact.ReadBand(data)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if got := networkKey(band.Latency(), band.Types(), band.Counts()); got != key {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("prefix band resolves to key %q, path names %q", got, key))
+		return
+	}
+	dp, err := exact.New(band.Latency(), band.Types(), band.Counts())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if hi <= band.Hi || hi > dp.LayerCount() {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("fill range [%d,%d) empty or outside the %d-layer schedule", band.Hi, hi, dp.LayerCount()))
+		return
+	}
+	if err := dp.IngestBand(band); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := dp.FillLayers(band.Hi, hi, workers); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.fleet.fillBandServed()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// Too late for a status change on a write error; the owner's band
+	// validation rejects a truncated body.
+	dp.WriteBand(w, band.Hi, hi, true)
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/exact"
+	"repro/internal/model"
+)
+
+// fleetFillConfig opts a test fleet into distributed fills with no size
+// threshold, so even the small test networks exercise the band protocol.
+func fleetFillConfig(i int, cfg *Config) {
+	cfg.FleetFill = true
+	cfg.FleetFillMinStates = 1
+}
+
+// fleetSetK4 searches generator seeds for an instance with exactly four
+// distinct types — enough fill layers for one band per replica of a
+// three-node fleet, and planes to make the assembled-table comparison
+// meaningful.
+func fleetSetK4(t *testing.T) *model.MulticastSet {
+	t.Helper()
+	for seed := int64(0); seed < 300; seed++ {
+		set, err := cluster.Generate(cluster.GenConfig{N: 13, K: 4, Seed: seed, MaxSend: 8})
+		if err != nil {
+			continue
+		}
+		inst, err := exact.Analyze(Canonicalize(set))
+		if err != nil || len(inst.Types) != 4 {
+			continue
+		}
+		return set
+	}
+	t.Fatal("no generated k=4 set in 300 seeds")
+	return nil
+}
+
+// TestFleetDistributedFill is the distributed-build acceptance test: a
+// three-replica fleet builds one k=4 table cooperatively — the owner
+// fills the lowest band, each peer fills exactly one delegated band —
+// and the assembled table is bit-identical to a sequential local build.
+func TestFleetDistributedFill(t *testing.T) {
+	f := startFleet(t, 3, fleetFillConfig)
+	set := fleetSetK4(t)
+	owner := f.ownerIndex(t, set)
+	key, err := NetworkKey(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := warmTable(t, f.urls[owner], set)
+	if got.Cache != TableCacheMiss || got.Fleet != FleetRoleOwner {
+		t.Errorf("owner warm: cache=%q fleet=%q, want miss/owner", got.Cache, got.Fleet)
+	}
+
+	st := f.svcs[owner].FleetStats()
+	if st.FillBuilds != 1 || st.FillBandsLocal != 1 || st.FillBandsRemote != 2 || st.FillBandErrors != 0 {
+		t.Errorf("owner fill stats = %+v, want 1 build, 1 local band, 2 remote bands, 0 errors", st)
+	}
+	if f.svcs[owner].TableBuilds() != 1 {
+		t.Errorf("owner builds = %d, want 1", f.svcs[owner].TableBuilds())
+	}
+	for i := range f.svcs {
+		if i == owner {
+			continue
+		}
+		if n := f.svcs[i].TableBuilds(); n != 0 {
+			t.Errorf("peer %d ran %d full builds, want 0 (it only fills bands)", i, n)
+		}
+		if pst := f.svcs[i].FleetStats(); pst.FillBandsServed != 1 {
+			t.Errorf("peer %d served %d bands, want exactly 1", i, pst.FillBandsServed)
+		}
+	}
+
+	// The assembled table must answer like an independent exact solve…
+	want, err := exact.OptimalRT(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OptimalRT != want {
+		t.Errorf("distributed optimal %d != exact %d", got.OptimalRT, want)
+	}
+
+	// …and its serialized bytes must pass full .hnowtbl validation and be
+	// bit-identical to a sequential local build (disjoint bands filled in
+	// ascending order compose into exactly the FillAll table).
+	resp, data := get(t, f.urls[owner]+"/v1/fleet/table/"+url.PathEscape(key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET fleet table: HTTP %d", resp.StatusCode)
+	}
+	if tbl, err := exact.ReadTableBytes(data); err != nil {
+		t.Fatalf("assembled table fails validation: %v", err)
+	} else {
+		tbl.Close()
+	}
+	local, err := exact.BuildTable(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	var localBytes bytes.Buffer
+	if _, err := local.WriteTo(&localBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, localBytes.Bytes()) {
+		t.Errorf("assembled table bytes differ from a sequential local build (%d vs %d bytes)",
+			len(data), localBytes.Len())
+	}
+}
+
+// TestFleetDistributedFillPeersDown: with every peer dark, the owner's
+// band chain degrades band by band to local fills — every band error is
+// counted, the build still completes, and the table is still correct.
+func TestFleetDistributedFillPeersDown(t *testing.T) {
+	f := startFleet(t, 3, fleetFillConfig)
+	set := fleetSetK4(t)
+	owner := f.ownerIndex(t, set)
+	for i := range f.ts {
+		if i != owner {
+			f.ts[i].Close()
+		}
+	}
+
+	got := warmTable(t, f.urls[owner], set)
+	st := f.svcs[owner].FleetStats()
+	if st.FillBuilds != 1 || st.FillBandsLocal != 3 || st.FillBandsRemote != 0 || st.FillBandErrors != 2 {
+		t.Errorf("owner fill stats = %+v, want 1 build, 3 local bands, 0 remote, 2 errors", st)
+	}
+	want, err := exact.OptimalRT(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OptimalRT != want {
+		t.Errorf("degraded distributed build optimal %d != exact %d", got.OptimalRT, want)
+	}
+}
+
+// TestFleetFillRejectsGarbage: the band-fill endpoint sits on the same
+// trust boundary as table exchange — a corrupt prefix, a key mismatch or
+// a bogus range must be rejected before any fill work runs.
+func TestFleetFillRejectsGarbage(t *testing.T) {
+	f := startFleet(t, 2, fleetFillConfig)
+	set := fleetSetK4(t)
+	key, err := NetworkKey(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := exact.Analyze(Canonicalize(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := inst.NewDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.FillLayers(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var prefix bytes.Buffer
+	if _, err := dp.WriteBand(&prefix, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	fill := f.urls[0] + "/v1/fleet/fill/" + url.PathEscape(key)
+
+	postRaw := func(url string, body []byte) int {
+		t.Helper()
+		resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Corrupt prefix bytes: flip one payload byte so the checksum fails.
+	bad := append([]byte(nil), prefix.Bytes()...)
+	bad[len(bad)-1] ^= 1
+	if code := postRaw(fill+"?hi=4", bad); code != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt prefix: HTTP %d, want 422", code)
+	}
+	// Key mismatch: a valid band posted under the wrong key.
+	if code := postRaw(f.urls[0]+"/v1/fleet/fill/"+url.PathEscape("L=1|1:1x1")+"?hi=4", prefix.Bytes()); code != http.StatusUnprocessableEntity {
+		t.Errorf("key mismatch: HTTP %d, want 422", code)
+	}
+	// Empty or out-of-range fill ranges.
+	if code := postRaw(fill+"?hi=2", prefix.Bytes()); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty range: HTTP %d, want 422", code)
+	}
+	if code := postRaw(fill+"?hi=9999", prefix.Bytes()); code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range hi: HTTP %d, want 422", code)
+	}
+	// Malformed query.
+	if code := postRaw(fill, prefix.Bytes()); code != http.StatusBadRequest {
+		t.Errorf("missing hi: HTTP %d, want 400", code)
+	}
+	// No fill work may have been counted for any rejected request.
+	for i, s := range f.svcs {
+		if st := s.FleetStats(); st.FillBandsServed != 0 {
+			t.Errorf("replica %d served %d bands off rejected requests", i, st.FillBandsServed)
+		}
+	}
+
+	// And a well-formed request succeeds end to end.
+	resp, err := http.Post(fill+"?hi=4&workers=1", "application/octet-stream", bytes.NewReader(prefix.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid band fill: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := exact.ReadBand(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if band.Lo != 2 || band.Hi != 4 || !band.HasChoices() {
+		t.Errorf("returned band covers [%d,%d) choices=%v, want [2,4) with choices", band.Lo, band.Hi, band.HasChoices())
+	}
+	if err := dp.IngestBand(band); err != nil {
+		t.Errorf("returned band does not ingest: %v", err)
+	}
+}
